@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the register-constrained drivers, including the
+//! ablation of the paper's two scheduling-time accelerations (Section 4.5)
+//! and the best-of-all combination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use regpipe_core::{BestOfAllDriver, IncreaseIiDriver, SpillDriver, SpillDriverOptions};
+use regpipe_loops::paper;
+use regpipe_machine::MachineConfig;
+use regpipe_spill::SelectHeuristic;
+
+fn bench_spill_ablation(c: &mut Criterion) {
+    let machine = MachineConfig::p2l4();
+    let g = paper::apsi50_like();
+    let variants: [(&str, SpillDriverOptions); 4] = [
+        (
+            "one-at-a-time",
+            SpillDriverOptions {
+                heuristic: SelectHeuristic::MaxLtOverTraffic,
+                multi_spill: false,
+                last_ii_pruning: false,
+                ii_relief: true,
+                max_rounds: 1024,
+            },
+        ),
+        (
+            "multi-spill",
+            SpillDriverOptions {
+                heuristic: SelectHeuristic::MaxLtOverTraffic,
+                multi_spill: true,
+                last_ii_pruning: false,
+                ii_relief: true,
+                max_rounds: 1024,
+            },
+        ),
+        (
+            "last-ii",
+            SpillDriverOptions {
+                heuristic: SelectHeuristic::MaxLtOverTraffic,
+                multi_spill: false,
+                last_ii_pruning: true,
+                ii_relief: true,
+                max_rounds: 1024,
+            },
+        ),
+        ("both", SpillDriverOptions::default()),
+    ];
+    let mut group = c.benchmark_group("spill_apsi50_regs32");
+    for (label, options) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &options, |b, &o| {
+            let driver = SpillDriver::new(o);
+            b.iter(|| black_box(driver.run(&g, &machine, 32).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_increase_ii(c: &mut Criterion) {
+    let machine = MachineConfig::p2l4();
+    let g = paper::apsi47_like();
+    c.bench_function("increase_ii_apsi47_regs32", |b| {
+        let driver = IncreaseIiDriver::new();
+        b.iter(|| black_box(driver.run(&g, &machine, 32).unwrap()));
+    });
+}
+
+fn bench_best_of_all(c: &mut Criterion) {
+    let machine = MachineConfig::p2l4();
+    let g = paper::apsi47_like();
+    c.bench_function("best_of_all_apsi47_regs32", |b| {
+        let driver = BestOfAllDriver::new(SpillDriverOptions::default());
+        b.iter(|| black_box(driver.run(&g, &machine, 32).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_spill_ablation, bench_increase_ii, bench_best_of_all);
+criterion_main!(benches);

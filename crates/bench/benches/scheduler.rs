@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the scheduling substrate: HRMS and the
+//! ASAP baseline per machine configuration, MII computation, lifetime
+//! analysis and register allocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use regpipe_loops::{paper, suite};
+use regpipe_machine::MachineConfig;
+use regpipe_regalloc::{allocate, LifetimeAnalysis, RotatingAllocator};
+use regpipe_sched::{mii, rec_mii, AsapScheduler, HrmsScheduler, SchedRequest, Scheduler};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let loops = suite(0xC1DA, 64);
+    let mut group = c.benchmark_group("schedule_suite64");
+    for machine in MachineConfig::paper_configs() {
+        group.bench_with_input(
+            BenchmarkId::new("hrms", machine.name()),
+            &machine,
+            |b, m| {
+                let sched = HrmsScheduler::new();
+                b.iter(|| {
+                    for l in &loops {
+                        black_box(
+                            sched.schedule(&l.ddg, m, &SchedRequest::default()).unwrap(),
+                        );
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("asap", machine.name()),
+            &machine,
+            |b, m| {
+                let sched = AsapScheduler::new();
+                b.iter(|| {
+                    for l in &loops {
+                        black_box(
+                            sched.schedule(&l.ddg, m, &SchedRequest::default()).unwrap(),
+                        );
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mii(c: &mut Criterion) {
+    let loops = suite(0xC1DA, 128);
+    let machine = MachineConfig::p2l4();
+    c.bench_function("rec_mii_suite128", |b| {
+        b.iter(|| {
+            for l in &loops {
+                black_box(rec_mii(&l.ddg, &machine));
+            }
+        })
+    });
+    c.bench_function("mii_suite128", |b| {
+        b.iter(|| {
+            for l in &loops {
+                black_box(mii(&l.ddg, &machine));
+            }
+        })
+    });
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let machine = MachineConfig::p2l4();
+    let g = paper::apsi50_like();
+    let s = HrmsScheduler::new().schedule(&g, &machine, &SchedRequest::default()).unwrap();
+    c.bench_function("lifetime_analysis_apsi50", |b| {
+        b.iter(|| black_box(LifetimeAnalysis::new(&g, &s)))
+    });
+    let analysis = LifetimeAnalysis::new(&g, &s);
+    c.bench_function("rotating_alloc_apsi50", |b| {
+        b.iter(|| black_box(RotatingAllocator::new().allocate(&analysis)))
+    });
+    c.bench_function("allocate_apsi50", |b| b.iter(|| black_box(allocate(&g, &s))));
+}
+
+criterion_group!(benches, bench_schedulers, bench_mii, bench_allocation);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 7: evolution of registers, MII, II and memory traffic as
+//! lifetimes are spilled one at a time with Max(LT), for the APSI-47-like
+//! and APSI-50-like loops.
+
+use regpipe_core::{SpillDriver, SpillDriverOptions};
+use regpipe_loops::paper::{apsi47_like, apsi50_like};
+use regpipe_machine::MachineConfig;
+use regpipe_spill::SelectHeuristic;
+
+fn trace(name: &str, g: &regpipe_ddg::Ddg, machine: &MachineConfig, budget: u32) {
+    let driver = SpillDriver::new(SpillDriverOptions {
+        heuristic: SelectHeuristic::MaxLt,
+        multi_spill: false,
+        last_ii_pruning: false,
+        ii_relief: true,
+        max_rounds: 512,
+    });
+    println!("--- {name}: Max(LT), one lifetime per reschedule, budget {budget} ---");
+    println!(
+        "{:>8} {:>5} {:>5} {:>6} {:>8} {:>9}",
+        "spilled", "MII", "II", "regs", "mem ops", "bus use %"
+    );
+    match driver.run(g, machine, budget) {
+        Ok(out) => {
+            for p in &out.trace {
+                println!(
+                    "{:>8} {:>5} {:>5} {:>6} {:>8} {:>9.1}",
+                    p.spilled, p.mii, p.ii, p.regs, p.memory_ops, p.memory_utilization
+                );
+            }
+            println!(
+                "=> fits {budget} regs with {} lifetimes spilled, II {} (first II was {})\n",
+                out.spilled,
+                out.schedule.ii(),
+                out.first_ii()
+            );
+        }
+        Err(e) => {
+            for p in &e.trace {
+                println!(
+                    "{:>8} {:>5} {:>5} {:>6} {:>8} {:>9.1}",
+                    p.spilled, p.mii, p.ii, p.regs, p.memory_ops, p.memory_utilization
+                );
+            }
+            println!("=> failed: {e}\n");
+        }
+    }
+}
+
+fn main() {
+    let machine = MachineConfig::p2l4();
+    println!("=== Figure 7: spilling trace ({machine}) ===\n");
+    for budget in [32, 16] {
+        trace("Figure 7a: APSI-47-like", &apsi47_like(), &machine, budget);
+    }
+    for budget in [32, 16] {
+        trace("Figure 7b: APSI-50-like", &apsi50_like(), &machine, budget);
+    }
+}

@@ -1,0 +1,57 @@
+//! Register-constrained software pipelining.
+//!
+//! This crate is the paper's contribution proper: given a loop, a machine
+//! and a register budget `R`, produce a modulo schedule whose register
+//! requirement fits in `R`. Three strategies are provided:
+//!
+//! * [`IncreaseIiDriver`] — reschedule with ever larger IIs until the
+//!   requirement fits (Figure 1a, the Cydra 5 approach). Cheap, but
+//!   performance decays quickly and — the paper's key negative result —
+//!   it **never converges** for some loops, because loop invariants and
+//!   the distance components of lifetimes put an II-independent floor
+//!   under the register requirement (Section 3.1).
+//! * [`SpillDriver`] — iteratively select lifetimes (Max(LT) or
+//!   Max(LT/Traf)), rewrite the graph with spill code, and reschedule until
+//!   the requirement fits (Figure 1b, Section 4). Optional accelerations
+//!   from Section 4.5: spilling *several lifetimes at once* driven by an
+//!   optimistic MaxLive estimate, and *II-search pruning* that restarts
+//!   each reschedule at `max(MII, previous II)`.
+//! * [`BestOfAllDriver`] — the Section 5 combination: spill first, then
+//!   probe the unspilled loop at IIs up to the spill result's II (binary
+//!   search); keep whichever schedule is better.
+//!
+//! The one-call entry point is [`compile`].
+//!
+//! ```
+//! use regpipe_core::{compile, CompileOptions};
+//! use regpipe_ddg::{DdgBuilder, OpKind};
+//! use regpipe_machine::MachineConfig;
+//!
+//! // A loop with a long loop-carried lifetime: y(i) = x(i) + x(i-5).
+//! let mut b = DdgBuilder::new("stencil");
+//! let ld = b.add_op(OpKind::Load, "ld x");
+//! let add = b.add_op(OpKind::Add, "+");
+//! let st = b.add_op(OpKind::Store, "st y");
+//! b.reg(ld, add);
+//! b.reg_dist(ld, add, 5);
+//! b.reg(add, st);
+//! let ddg = b.build()?;
+//!
+//! let machine = MachineConfig::p2l4();
+//! let compiled = compile(&ddg, &machine, 4, &CompileOptions::default())
+//!     .expect("fits in 4 registers after spilling");
+//! assert!(compiled.registers_used() <= 4);
+//! # Ok::<(), regpipe_ddg::DdgError>(())
+//! ```
+
+mod best_of_all;
+mod compile;
+mod increase_ii;
+mod spill_driver;
+
+pub use best_of_all::{BestOfAllDriver, BestOfAllOutcome, Winner};
+pub use compile::{compile, CompileError, CompileOptions, CompiledLoop, Strategy};
+pub use increase_ii::{IiSweepPoint, IncreaseIiDriver, IncreaseIiFailure, IncreaseIiOutcome};
+pub use spill_driver::{
+    SpillDriver, SpillDriverOptions, SpillFailure, SpillOutcome, SpillTracePoint,
+};

@@ -1,0 +1,226 @@
+//! Elementary circuit enumeration (Johnson's algorithm).
+//!
+//! Used for exact per-recurrence diagnostics: each elementary circuit `C`
+//! bounds the initiation interval from below by `⌈Lat(C) / Dist(C)⌉`
+//! (paper Section 2.2). The schedulers themselves use the cheaper
+//! binary-search formulation in `regpipe-sched`; this module exists for
+//! reporting and for cross-checking `RecMII` in tests.
+
+use crate::graph::Ddg;
+use crate::op::OpId;
+
+/// An elementary circuit of the dependence graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Circuit {
+    ops: Vec<OpId>,
+    total_distance: u32,
+}
+
+impl Circuit {
+    /// The operations of the circuit, in traversal order. The edge closing
+    /// the circuit runs from the last operation back to the first.
+    pub fn ops(&self) -> &[OpId] {
+        &self.ops
+    }
+
+    /// The sum of dependence distances along the circuit (always positive
+    /// for a valid graph).
+    pub fn total_distance(&self) -> u32 {
+        self.total_distance
+    }
+}
+
+/// Enumerates elementary circuits with Johnson's algorithm, giving up after
+/// `cap` circuits (pathological graphs can have exponentially many).
+///
+/// Returns `None` if the cap was hit, `Some(circuits)` otherwise.
+pub fn elementary_circuits(g: &Ddg, cap: usize) -> Option<Vec<Circuit>> {
+    let n = g.num_ops();
+    let mut out: Vec<Circuit> = Vec::new();
+
+    // Minimal distance between each ordered pair that is directly connected,
+    // so parallel edges don't multiply circuits: we keep, per (from, to),
+    // the minimum distance (it yields the tightest II bound).
+    let mut adj: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        let (f, t) = (e.from().index(), e.to().index());
+        if let Some(slot) = adj[f].iter_mut().find(|(w, _)| *w == t) {
+            slot.1 = slot.1.min(e.distance());
+        } else {
+            adj[f].push((t, e.distance()));
+        }
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+    }
+
+    let mut blocked = vec![false; n];
+    let mut block_map: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut stack: Vec<(usize, u32)> = Vec::new();
+
+    fn unblock(v: usize, blocked: &mut [bool], block_map: &mut [Vec<usize>]) {
+        blocked[v] = false;
+        let pending = std::mem::take(&mut block_map[v]);
+        for w in pending {
+            if blocked[w] {
+                unblock(w, blocked, block_map);
+            }
+        }
+    }
+
+    // Recursive circuit search rooted at `s`, restricted to nodes >= s.
+    #[allow(clippy::too_many_arguments)]
+    fn circuit(
+        v: usize,
+        s: usize,
+        adj: &[Vec<(usize, u32)>],
+        blocked: &mut [bool],
+        block_map: &mut [Vec<usize>],
+        stack: &mut Vec<(usize, u32)>,
+        out: &mut Vec<Circuit>,
+        cap: usize,
+    ) -> bool {
+        let mut found = false;
+        blocked[v] = true;
+        for &(w, dist) in &adj[v] {
+            if w < s || out.len() >= cap {
+                continue;
+            }
+            if w == s {
+                let mut ops: Vec<OpId> =
+                    stack.iter().map(|&(x, _)| OpId::new(x)).collect();
+                ops.push(OpId::new(v));
+                let total: u32 =
+                    stack.iter().map(|&(_, d)| d).sum::<u32>() + dist;
+                out.push(Circuit { ops, total_distance: total });
+                found = true;
+            } else if !blocked[w] {
+                stack.push((v, dist));
+                if circuit(w, s, adj, blocked, block_map, stack, out, cap) {
+                    found = true;
+                }
+                stack.pop();
+            }
+        }
+        if found {
+            unblock(v, blocked, block_map);
+        } else {
+            for &(w, _) in &adj[v] {
+                if w >= s && !block_map[w].contains(&v) {
+                    block_map[w].push(v);
+                }
+            }
+        }
+        found
+    }
+
+    for s in 0..n {
+        if out.len() >= cap {
+            return None;
+        }
+        for v in s..n {
+            blocked[v] = false;
+            block_map[v].clear();
+        }
+        circuit(s, s, &adj, &mut blocked, &mut block_map, &mut stack, &mut out, cap);
+        debug_assert!(stack.is_empty());
+    }
+    if out.len() >= cap {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::OpKind;
+
+    #[test]
+    fn dag_has_no_circuits() {
+        let mut b = DdgBuilder::new("dag");
+        let x = b.add_op(OpKind::Add, "x");
+        let y = b.add_op(OpKind::Add, "y");
+        b.reg(x, y);
+        let g = b.build().unwrap();
+        assert_eq!(elementary_circuits(&g, 100).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn simple_recurrence_yields_one_circuit() {
+        let mut b = DdgBuilder::new("rec");
+        let x = b.add_op(OpKind::Add, "x");
+        let y = b.add_op(OpKind::Add, "y");
+        b.reg(x, y);
+        b.reg_dist(y, x, 2);
+        let g = b.build().unwrap();
+        let cs = elementary_circuits(&g, 100).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].ops().len(), 2);
+        assert_eq!(cs[0].total_distance(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_a_circuit() {
+        let mut b = DdgBuilder::new("self");
+        let x = b.add_op(OpKind::Add, "x");
+        b.reg_dist(x, x, 3);
+        let g = b.build().unwrap();
+        let cs = elementary_circuits(&g, 100).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].ops(), &[x]);
+        assert_eq!(cs[0].total_distance(), 3);
+    }
+
+    #[test]
+    fn two_nested_circuits_found() {
+        // x -> y -> x (dist 1) and x -> y -> z -> x (dist 2).
+        let mut b = DdgBuilder::new("nested");
+        let x = b.add_op(OpKind::Add, "x");
+        let y = b.add_op(OpKind::Add, "y");
+        let z = b.add_op(OpKind::Add, "z");
+        b.reg(x, y);
+        b.reg_dist(y, x, 1);
+        b.reg(y, z);
+        b.reg_dist(z, x, 2);
+        let g = b.build().unwrap();
+        let cs = elementary_circuits(&g, 100).unwrap();
+        assert_eq!(cs.len(), 2);
+        let mut dists: Vec<u32> = cs.iter().map(Circuit::total_distance).collect();
+        dists.sort_unstable();
+        assert_eq!(dists, vec![1, 2]);
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        // Complete digraph on 6 nodes has 409 elementary circuits.
+        let mut b = DdgBuilder::new("k6");
+        let vs: Vec<_> = (0..6).map(|i| b.add_op(OpKind::Add, format!("v{i}"))).collect();
+        for &u in &vs {
+            for &v in &vs {
+                if u != v {
+                    b.reg_dist(u, v, 1);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        assert!(elementary_circuits(&g, 10).is_none());
+        assert!(elementary_circuits(&g, 100_000).is_some());
+    }
+
+    #[test]
+    fn parallel_edges_keep_min_distance() {
+        let mut b = DdgBuilder::new("par");
+        let x = b.add_op(OpKind::Add, "x");
+        let y = b.add_op(OpKind::Add, "y");
+        b.reg(x, y);
+        b.reg_dist(y, x, 5);
+        b.reg_dist(y, x, 2); // tighter
+        let g = b.build().unwrap();
+        let cs = elementary_circuits(&g, 100).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].total_distance(), 2);
+    }
+}

@@ -1,0 +1,16 @@
+//! Graph algorithms over dependence graphs.
+//!
+//! Everything a modulo scheduler needs from graph theory: strongly connected
+//! components (recurrence detection), topological orders, elementary-circuit
+//! enumeration (for exact per-recurrence `RecMII` diagnostics) and
+//! reachability.
+
+mod circuits;
+mod reach;
+mod scc;
+mod topo;
+
+pub use circuits::{elementary_circuits, Circuit};
+pub use reach::Reachability;
+pub use scc::{recurrences, sccs, Scc};
+pub use topo::{condensation_order, topo_order_ignoring_back_edges};

@@ -1,0 +1,155 @@
+//! Ergonomic construction of dependence graphs.
+
+use crate::edge::{Edge, EdgeKind};
+use crate::graph::Ddg;
+use crate::invariant::InvariantId;
+use crate::op::{OpId, OpKind};
+use crate::validate::DdgError;
+
+/// A non-consuming builder for [`Ddg`]s.
+///
+/// The builder offers shorthands for the common edge kinds and validates the
+/// finished graph in [`DdgBuilder::build`].
+///
+/// ```
+/// use regpipe_ddg::{DdgBuilder, OpKind};
+///
+/// let mut b = DdgBuilder::new("saxpy");
+/// let lx = b.add_op(OpKind::Load, "ld x");
+/// let ly = b.add_op(OpKind::Load, "ld y");
+/// let mul = b.add_op(OpKind::Mul, "a*x");
+/// let add = b.add_op(OpKind::Add, "+y");
+/// let st = b.add_op(OpKind::Store, "st y");
+/// b.invariant("a", &[mul]);
+/// b.reg(lx, mul);
+/// b.reg(mul, add);
+/// b.reg(ly, add);
+/// b.reg(add, st);
+/// let ddg = b.build()?;
+/// assert_eq!(ddg.num_ops(), 5);
+/// # Ok::<(), regpipe_ddg::DdgError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DdgBuilder {
+    graph: Ddg,
+}
+
+impl DdgBuilder {
+    /// Starts a new loop body with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DdgBuilder { graph: Ddg::new(name) }
+    }
+
+    /// Adds an operation and returns its id.
+    pub fn add_op(&mut self, kind: OpKind, name: impl Into<String>) -> OpId {
+        self.graph.add_op(kind, name)
+    }
+
+    /// Adds a register flow dependence with distance 0.
+    pub fn reg(&mut self, from: OpId, to: OpId) -> &mut Self {
+        self.graph.add_edge(Edge::new(from, to, EdgeKind::RegFlow, 0));
+        self
+    }
+
+    /// Adds a register flow dependence with the given distance.
+    pub fn reg_dist(&mut self, from: OpId, to: OpId, distance: u32) -> &mut Self {
+        self.graph.add_edge(Edge::new(from, to, EdgeKind::RegFlow, distance));
+        self
+    }
+
+    /// Adds a memory dependence with the given distance.
+    pub fn mem(&mut self, from: OpId, to: OpId, distance: u32) -> &mut Self {
+        self.graph.add_edge(Edge::new(from, to, EdgeKind::Mem, distance));
+        self
+    }
+
+    /// Adds an ordering-only dependence with the given distance.
+    pub fn order(&mut self, from: OpId, to: OpId, distance: u32) -> &mut Self {
+        self.graph.add_edge(Edge::new(from, to, EdgeKind::Order, distance));
+        self
+    }
+
+    /// Adds a fixed (bonded) register edge; see [`Edge::fixed`].
+    pub fn bond(&mut self, from: OpId, to: OpId) -> &mut Self {
+        self.graph.add_edge(Edge::fixed(from, to));
+        self
+    }
+
+    /// Adds a staggered bond; see [`Edge::fixed_staggered`].
+    pub fn bond_staggered(&mut self, from: OpId, to: OpId, stagger: u32) -> &mut Self {
+        self.graph.add_edge(Edge::fixed_staggered(from, to, stagger));
+        self
+    }
+
+    /// Declares a loop-invariant value consumed by `uses`.
+    pub fn invariant(&mut self, name: impl Into<String>, uses: &[OpId]) -> InvariantId {
+        self.graph.add_invariant(name, uses)
+    }
+
+    /// Validates and returns the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DdgError`] if the graph violates a structural rule
+    /// (empty body, register edge from a store, malformed bonds, or a
+    /// zero-distance dependence cycle).
+    pub fn build(self) -> Result<Ddg, DdgError> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+
+    /// Returns the graph without validating (for tests that need to observe
+    /// invalid graphs).
+    pub fn build_unchecked(self) -> Ddg {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_graph() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.add_op(OpKind::Load, "a");
+        let c = b.add_op(OpKind::Store, "c");
+        b.reg(a, c);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_ops(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_graph() {
+        let b = DdgBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), DdgError::Empty);
+    }
+
+    #[test]
+    fn edge_shorthands_set_kinds() {
+        let mut b = DdgBuilder::new("kinds");
+        let a = b.add_op(OpKind::Add, "a");
+        let s = b.add_op(OpKind::Store, "s");
+        let l = b.add_op(OpKind::Load, "l");
+        b.reg(a, s);
+        b.mem(s, l, 2);
+        b.order(l, a, 1);
+        let g = b.build().unwrap();
+        let kinds: Vec<_> = g.edges().map(|e| (e.kind(), e.distance())).collect();
+        assert_eq!(
+            kinds,
+            vec![(EdgeKind::RegFlow, 0), (EdgeKind::Mem, 2), (EdgeKind::Order, 1)]
+        );
+    }
+
+    #[test]
+    fn bond_creates_fixed_edge() {
+        let mut b = DdgBuilder::new("bond");
+        let a = b.add_op(OpKind::Load, "a");
+        let s = b.add_op(OpKind::Store, "s");
+        b.bond(a, s);
+        let g = b.build().unwrap();
+        assert!(g.edges().next().unwrap().is_fixed());
+    }
+}

@@ -1,0 +1,121 @@
+//! Graphviz (DOT) export.
+
+use std::fmt::Write as _;
+
+use crate::edge::EdgeKind;
+use crate::graph::Ddg;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Register edges are solid, memory edges dashed, ordering edges dotted;
+/// loop-carried edges are labelled with their distance; fixed (bonded) edges
+/// are drawn bold. Non-spillable values get a grey fill, invariants appear
+/// as boxes.
+///
+/// ```
+/// use regpipe_ddg::{DdgBuilder, OpKind, to_dot};
+/// let mut b = DdgBuilder::new("tiny");
+/// let x = b.add_op(OpKind::Load, "x");
+/// let s = b.add_op(OpKind::Store, "s");
+/// b.reg(x, s);
+/// let dot = to_dot(&b.build()?);
+/// assert!(dot.starts_with("digraph"));
+/// # Ok::<(), regpipe_ddg::DdgError>(())
+/// ```
+pub fn to_dot(g: &Ddg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(g.name()));
+    let _ = writeln!(s, "  node [shape=ellipse, fontname=\"monospace\"];");
+    for (id, n) in g.ops() {
+        let fill = if g.is_value_marked_non_spillable(id) {
+            ", style=filled, fillcolor=lightgrey"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "  n{} [label=\"{}\\n{}\"{}];",
+            id.index(),
+            escape(n.name()),
+            n.kind(),
+            fill
+        );
+    }
+    for (iid, inv) in g.invariants() {
+        let _ = writeln!(
+            s,
+            "  inv{} [label=\"{}\", shape=box{}];",
+            iid.index(),
+            escape(inv.name()),
+            if inv.is_spilled() { ", style=dashed" } else { "" }
+        );
+        for u in inv.uses() {
+            let _ = writeln!(s, "  inv{} -> n{} [color=gray];", iid.index(), u.index());
+        }
+    }
+    for e in g.edges() {
+        let style = match e.kind() {
+            EdgeKind::RegFlow => {
+                if e.is_fixed() {
+                    "style=bold"
+                } else {
+                    "style=solid"
+                }
+            }
+            EdgeKind::Mem => "style=dashed",
+            EdgeKind::Order => "style=dotted",
+        };
+        let label = if e.distance() > 0 {
+            format!(", label=\"{}\"", e.distance())
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            s,
+            "  n{} -> n{} [{}{}];",
+            e.from().index(),
+            e.to().index(),
+            style,
+            label
+        );
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::OpKind;
+
+    #[test]
+    fn dot_contains_nodes_edges_invariants() {
+        let mut b = DdgBuilder::new("loop \"x\"");
+        let ld = b.add_op(OpKind::Load, "ld");
+        let st = b.add_op(OpKind::Store, "st");
+        b.reg_dist(ld, st, 2);
+        b.invariant("a", &[st]);
+        let g = b.build().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph \"loop \\\"x\\\"\""));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("label=\"2\""));
+        assert!(dot.contains("inv0"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn fixed_edges_render_bold() {
+        let mut b = DdgBuilder::new("b");
+        let a = b.add_op(OpKind::Load, "a");
+        let s = b.add_op(OpKind::Store, "s");
+        b.bond(a, s);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("style=bold"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Loop-invariant values.
+
+use std::fmt;
+
+use crate::op::OpId;
+
+/// Index of a loop invariant inside a [`crate::Ddg`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InvariantId(u32);
+
+impl InvariantId {
+    /// Creates an id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn new(index: usize) -> Self {
+        InvariantId(u32::try_from(index).expect("invariant index overflows u32"))
+    }
+
+    /// The dense index of this invariant.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for InvariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inv{}", self.0)
+    }
+}
+
+impl fmt::Display for InvariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inv{}", self.0)
+    }
+}
+
+/// A loop-invariant value: defined before the loop, repeatedly used inside
+/// it, never redefined (paper Section 2.3).
+///
+/// An unspilled invariant occupies exactly one register for the whole loop
+/// execution, regardless of the schedule — this is one of the reasons the
+/// increase-II strategy fails to converge on some loops (Section 3.1).
+/// Spilling an invariant stores it to memory before the loop and reloads it
+/// at each use (Section 4.2); afterwards [`Invariant::is_spilled`] is true
+/// and the invariant occupies no register.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Invariant {
+    name: String,
+    uses: Vec<OpId>,
+    spillable: bool,
+    spilled: bool,
+}
+
+impl Invariant {
+    /// Creates a live (unspilled) invariant used by `uses`.
+    pub fn new(name: impl Into<String>, uses: Vec<OpId>) -> Self {
+        Invariant { name: name.into(), uses, spillable: true, spilled: false }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operations that consume this invariant.
+    pub fn uses(&self) -> &[OpId] {
+        &self.uses
+    }
+
+    /// Whether the spill heuristics may select this invariant.
+    pub fn is_spillable(&self) -> bool {
+        self.spillable && !self.spilled && !self.uses.is_empty()
+    }
+
+    /// Whether this invariant has been spilled to memory (and therefore no
+    /// longer occupies a register).
+    pub fn is_spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// Forbids spilling this invariant.
+    pub fn mark_non_spillable(&mut self) {
+        self.spillable = false;
+    }
+
+    /// Records that the invariant now lives in memory and rewires its uses
+    /// away (the caller has inserted reload operations).
+    pub fn mark_spilled(&mut self) {
+        self.spilled = true;
+        self.uses.clear();
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} uses{})", self.name, self.uses.len(), if self.spilled { ", spilled" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_invariant_is_spillable() {
+        let inv = Invariant::new("a", vec![OpId::new(0)]);
+        assert!(inv.is_spillable());
+        assert!(!inv.is_spilled());
+        assert_eq!(inv.uses(), &[OpId::new(0)]);
+    }
+
+    #[test]
+    fn invariant_without_uses_is_not_spillable() {
+        let inv = Invariant::new("a", vec![]);
+        assert!(!inv.is_spillable(), "spilling a dead invariant frees nothing");
+    }
+
+    #[test]
+    fn spilling_clears_uses_and_disables_further_spills() {
+        let mut inv = Invariant::new("a", vec![OpId::new(0), OpId::new(1)]);
+        inv.mark_spilled();
+        assert!(inv.is_spilled());
+        assert!(inv.uses().is_empty());
+        assert!(!inv.is_spillable());
+    }
+
+    #[test]
+    fn non_spillable_marking_sticks() {
+        let mut inv = Invariant::new("a", vec![OpId::new(0)]);
+        inv.mark_non_spillable();
+        assert!(!inv.is_spillable());
+        assert!(!inv.is_spilled());
+    }
+}

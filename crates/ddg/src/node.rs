@@ -1,0 +1,53 @@
+//! Operation nodes.
+
+use std::fmt;
+
+use crate::op::OpKind;
+
+/// An operation of the loop body (a vertex of the dependence graph).
+///
+/// A node that [defines a value](OpKind::defines_value) defines one *loop
+/// variant*: a new instance of the value is produced in every iteration.
+/// Lifetime analysis and spilling identify the variant with its producing
+/// node's [`crate::OpId`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Node {
+    name: String,
+    kind: OpKind,
+}
+
+impl Node {
+    /// Creates a node with a human-readable name.
+    pub fn new(kind: OpKind, name: impl Into<String>) -> Self {
+        Node { name: name.into(), kind }
+    }
+
+    /// Human-readable name (used in kernels, DOT dumps, error messages).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operation kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_accessors_and_display() {
+        let n = Node::new(OpKind::Mul, "t1");
+        assert_eq!(n.name(), "t1");
+        assert_eq!(n.kind(), OpKind::Mul);
+        assert_eq!(n.to_string(), "t1:mul");
+    }
+}

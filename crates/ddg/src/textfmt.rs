@@ -1,0 +1,376 @@
+//! A plain-text interchange format for dependence graphs.
+//!
+//! One declaration per line; `#` starts a comment. The format is designed
+//! for loop corpora on disk and for the `regpipe` CLI:
+//!
+//! ```text
+//! loop fig2
+//! op Ld load
+//! op mul1 mul
+//! op add1 add
+//! op St store
+//! edge Ld -> mul1 reg 0
+//! edge Ld -> add1 reg 3
+//! edge mul1 -> add1 reg 0
+//! edge add1 -> St reg 0
+//! inv a uses mul1
+//! ```
+//!
+//! Edge kinds are `reg`, `mem`, `ord`; a trailing integer is the dependence
+//! distance (default 0); `reg!` declares a bonded edge and `reg!+k` a bond
+//! staggered by `k` cycles. Op names must be unique within a loop and must
+//! not contain whitespace.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::edge::{Edge, EdgeKind};
+use crate::graph::Ddg;
+use crate::op::{OpId, OpKind};
+use crate::validate::DdgError;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Line where the problem was found.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<(usize, String)> for ParseError {
+    fn from((line, message): (usize, String)) -> Self {
+        ParseError { line, message }
+    }
+}
+
+/// Renders `ddg` in the text format; [`parse`] round-trips it.
+pub fn format(ddg: &Ddg) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("loop {}\n", sanitize(ddg.name())));
+    for (_, node) in ddg.ops() {
+        out.push_str(&format!("op {} {}\n", sanitize(node.name()), kind_name(node.kind())));
+    }
+    for e in ddg.edges() {
+        let kind = match (e.kind(), e.is_fixed(), e.stagger()) {
+            (EdgeKind::RegFlow, true, 0) => "reg!".to_string(),
+            (EdgeKind::RegFlow, true, s) => format!("reg!+{s}"),
+            (EdgeKind::RegFlow, false, _) => "reg".to_string(),
+            (EdgeKind::Mem, _, _) => "mem".to_string(),
+            (EdgeKind::Order, _, _) => "ord".to_string(),
+        };
+        out.push_str(&format!(
+            "edge {} -> {} {} {}\n",
+            sanitize(ddg.op(e.from()).name()),
+            sanitize(ddg.op(e.to()).name()),
+            kind,
+            e.distance()
+        ));
+    }
+    for (_, inv) in ddg.invariants() {
+        out.push_str(&format!("inv {} uses", sanitize(inv.name())));
+        for u in inv.uses() {
+            out.push_str(&format!(" {}", sanitize(ddg.op(*u).name())));
+        }
+        out.push('\n');
+    }
+    for id in ddg.op_ids() {
+        if ddg.is_value_marked_non_spillable(id) {
+            out.push_str(&format!("nospill {}\n", sanitize(ddg.op(id).name())));
+        }
+    }
+    out
+}
+
+/// Parses the text format into a validated graph.
+///
+/// # Errors
+///
+/// [`ParseError`] on malformed input; the graph is also
+/// [validated](Ddg::validate), with violations reported on line 0.
+pub fn parse(text: &str) -> Result<Ddg, ParseError> {
+    let mut name = String::from("anonymous");
+    let mut ops: Vec<(String, OpKind)> = Vec::new();
+    let mut by_name: HashMap<String, OpId> = HashMap::new();
+    let mut g: Option<Ddg> = None;
+
+    let ensure_graph = |g: &mut Option<Ddg>, name: &str| {
+        if g.is_none() {
+            *g = Some(Ddg::new(name));
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().expect("non-empty line");
+        match keyword {
+            "loop" => {
+                name = words
+                    .next()
+                    .ok_or_else(|| (line_no, "missing loop name".to_string()))?
+                    .to_string();
+                if let Some(g) = &mut g {
+                    g.set_name(&name);
+                } else {
+                    g = Some(Ddg::new(&name));
+                }
+            }
+            "op" => {
+                ensure_graph(&mut g, &name);
+                let op_name = words
+                    .next()
+                    .ok_or_else(|| (line_no, "missing op name".to_string()))?;
+                let kind_str = words
+                    .next()
+                    .ok_or_else(|| (line_no, "missing op kind".to_string()))?;
+                let kind = parse_kind(kind_str)
+                    .ok_or_else(|| (line_no, format!("unknown op kind '{kind_str}'")))?;
+                if by_name.contains_key(op_name) {
+                    return Err((line_no, format!("duplicate op '{op_name}'")).into());
+                }
+                let id = g.as_mut().expect("ensured").add_op(kind, op_name);
+                by_name.insert(op_name.to_string(), id);
+                ops.push((op_name.to_string(), kind));
+            }
+            "edge" => {
+                let g = g
+                    .as_mut()
+                    .ok_or_else(|| (line_no, "edge before any op".to_string()))?;
+                let from = words
+                    .next()
+                    .ok_or_else(|| (line_no, "missing edge source".to_string()))?;
+                let arrow = words.next();
+                if arrow != Some("->") {
+                    return Err((line_no, "expected '->'".to_string()).into());
+                }
+                let to = words
+                    .next()
+                    .ok_or_else(|| (line_no, "missing edge target".to_string()))?;
+                let kind_str = words.next().unwrap_or("reg");
+                let distance: u32 = match words.next() {
+                    Some(d) => d
+                        .parse()
+                        .map_err(|_| (line_no, format!("bad distance '{d}'")))?,
+                    None => 0,
+                };
+                let &f = by_name
+                    .get(from)
+                    .ok_or_else(|| (line_no, format!("unknown op '{from}'")))?;
+                let &t = by_name
+                    .get(to)
+                    .ok_or_else(|| (line_no, format!("unknown op '{to}'")))?;
+                let edge = if let Some(stagger) = kind_str.strip_prefix("reg!+") {
+                    let s: u32 = stagger
+                        .parse()
+                        .map_err(|_| (line_no, format!("bad stagger '{stagger}'")))?;
+                    Edge::fixed_staggered(f, t, s)
+                } else if kind_str == "reg!" {
+                    Edge::fixed(f, t)
+                } else {
+                    let kind = match kind_str {
+                        "reg" => EdgeKind::RegFlow,
+                        "mem" => EdgeKind::Mem,
+                        "ord" => EdgeKind::Order,
+                        other => {
+                            return Err(
+                                (line_no, format!("unknown edge kind '{other}'")).into()
+                            )
+                        }
+                    };
+                    Edge::new(f, t, kind, distance)
+                };
+                g.add_edge(edge);
+            }
+            "inv" => {
+                let g = g
+                    .as_mut()
+                    .ok_or_else(|| (line_no, "inv before any op".to_string()))?;
+                let inv_name = words
+                    .next()
+                    .ok_or_else(|| (line_no, "missing invariant name".to_string()))?;
+                if words.next() != Some("uses") {
+                    return Err((line_no, "expected 'uses'".to_string()).into());
+                }
+                let mut uses = Vec::new();
+                for u in words {
+                    let &id = by_name
+                        .get(u)
+                        .ok_or_else(|| (line_no, format!("unknown op '{u}'")))?;
+                    uses.push(id);
+                }
+                g.add_invariant(inv_name, &uses);
+            }
+            "nospill" => {
+                let g = g
+                    .as_mut()
+                    .ok_or_else(|| (line_no, "nospill before any op".to_string()))?;
+                let op_name = words
+                    .next()
+                    .ok_or_else(|| (line_no, "missing op name".to_string()))?;
+                let &id = by_name
+                    .get(op_name)
+                    .ok_or_else(|| (line_no, format!("unknown op '{op_name}'")))?;
+                g.mark_value_non_spillable(id);
+            }
+            other => {
+                return Err((line_no, format!("unknown keyword '{other}'")).into());
+            }
+        }
+    }
+    let g = g.ok_or_else(|| (0usize, "empty input".to_string()))?;
+    g.validate().map_err(|e: DdgError| ParseError { line: 0, message: e.to_string() })?;
+    Ok(g)
+}
+
+fn parse_kind(s: &str) -> Option<OpKind> {
+    Some(match s {
+        "load" | "ld" => OpKind::Load,
+        "store" | "st" => OpKind::Store,
+        "add" => OpKind::Add,
+        "mul" => OpKind::Mul,
+        "div" => OpKind::Div,
+        "sqrt" => OpKind::Sqrt,
+        "copy" => OpKind::Copy,
+        _ => return None,
+    })
+}
+
+fn kind_name(k: OpKind) -> &'static str {
+    match k {
+        OpKind::Load => "load",
+        OpKind::Store => "store",
+        OpKind::Add => "add",
+        OpKind::Mul => "mul",
+        OpKind::Div => "div",
+        OpKind::Sqrt => "sqrt",
+        OpKind::Copy => "copy",
+    }
+}
+
+/// Replaces whitespace in names so they survive a round trip.
+fn sanitize(name: &str) -> String {
+    name.split_whitespace().collect::<Vec<_>>().join("_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+
+    const FIG2: &str = "
+# the paper's example
+loop fig2
+op Ld load
+op mul1 mul
+op add1 add
+op St store
+edge Ld -> mul1 reg 0
+edge Ld -> add1 reg 3
+edge mul1 -> add1 reg
+edge add1 -> St reg 0
+inv a uses mul1
+";
+
+    #[test]
+    fn parses_the_example() {
+        let g = parse(FIG2).unwrap();
+        assert_eq!(g.name(), "fig2");
+        assert_eq!(g.num_ops(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_invariants(), 1);
+        assert_eq!(g.max_distance(), 3);
+    }
+
+    #[test]
+    fn round_trips() {
+        let g = parse(FIG2).unwrap();
+        let text = format(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g2.num_ops(), g.num_ops());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.num_invariants(), g.num_invariants());
+        let e1: Vec<_> = g.edges().map(|e| (e.from(), e.to(), e.kind(), e.distance())).collect();
+        let e2: Vec<_> = g2.edges().map(|e| (e.from(), e.to(), e.kind(), e.distance())).collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn bonds_and_staggers_round_trip() {
+        let mut b = DdgBuilder::new("bonds");
+        let l1 = b.add_op(OpKind::Load, "l1");
+        let l2 = b.add_op(OpKind::Load, "l2");
+        let c = b.add_op(OpKind::Add, "c");
+        b.bond(l1, c);
+        b.bond_staggered(l2, c, 2);
+        b.mem(c, l1, 1); // just to exercise mem edges (add -> load is fine)
+        let g = b.build().unwrap();
+        let g2 = parse(&format(&g)).unwrap();
+        let fixed: Vec<_> =
+            g2.edges().filter(|e| e.is_fixed()).map(|e| e.stagger()).collect();
+        assert_eq!(fixed, vec![0, 2]);
+    }
+
+    #[test]
+    fn nospill_round_trips() {
+        let mut b = DdgBuilder::new("ns");
+        let l = b.add_op(OpKind::Load, "l");
+        let s = b.add_op(OpKind::Store, "s");
+        b.reg(l, s);
+        let mut g = b.build().unwrap();
+        g.mark_value_non_spillable(l);
+        let g2 = parse(&format(&g)).unwrap();
+        assert!(g2.is_value_marked_non_spillable(OpId::new(0)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("loop x\nop a add\nedge a -> b reg 0\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("unknown op 'b'"));
+
+        let err = parse("loop x\nop a wibble\n").unwrap_err();
+        assert_eq!(err.line, 2);
+
+        let err = parse("loop x\nop a add\nop a add\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn validation_failures_are_reported() {
+        // A zero-distance cycle parses but fails validation.
+        let err = parse("loop x\nop a add\nop b add\nedge a -> b reg 0\nedge b -> a reg 0\n")
+            .unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("cycle"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = parse("\n# hi\nloop l # trailing\nop a add # yes\n").unwrap();
+        assert_eq!(g.num_ops(), 1);
+    }
+
+    #[test]
+    fn names_with_spaces_are_sanitized() {
+        let mut b = DdgBuilder::new("my loop");
+        b.add_op(OpKind::Load, "ld x[i]");
+        let g = b.build().unwrap();
+        let g2 = parse(&format(&g)).unwrap();
+        assert_eq!(g2.name(), "my_loop");
+        assert_eq!(g2.op(OpId::new(0)).name(), "ld_x[i]");
+    }
+}

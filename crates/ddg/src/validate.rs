@@ -1,0 +1,238 @@
+//! Structural validation of dependence graphs.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::edge::EdgeKind;
+use crate::graph::Ddg;
+use crate::op::OpId;
+
+/// A violation of the dependence-graph well-formedness rules.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DdgError {
+    /// The graph has no operations; there is nothing to schedule.
+    Empty,
+    /// A register edge leaves a store, which defines no value.
+    RegEdgeFromStore {
+        /// The offending store.
+        store: OpId,
+    },
+    /// A fixed (bonded) edge has a non-zero dependence distance.
+    FixedEdgeWithDistance {
+        /// Source of the edge.
+        from: OpId,
+        /// Target of the edge.
+        to: OpId,
+        /// Its (non-zero) distance.
+        distance: u32,
+    },
+    /// A fixed edge is not a register edge.
+    FixedEdgeWrongKind {
+        /// Source of the edge.
+        from: OpId,
+        /// Target of the edge.
+        to: OpId,
+    },
+    /// A dependence cycle exists whose total distance is zero: the loop can
+    /// never be scheduled (an operation would depend on itself within one
+    /// iteration).
+    ZeroDistanceCycle {
+        /// One operation on the offending cycle.
+        witness: OpId,
+    },
+}
+
+impl fmt::Display for DdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdgError::Empty => write!(f, "graph has no operations"),
+            DdgError::RegEdgeFromStore { store } => {
+                write!(f, "register edge leaves store {store}, which defines no value")
+            }
+            DdgError::FixedEdgeWithDistance { from, to, distance } => {
+                write!(f, "fixed edge {from} -> {to} has non-zero distance {distance}")
+            }
+            DdgError::FixedEdgeWrongKind { from, to } => {
+                write!(f, "fixed edge {from} -> {to} is not a register edge")
+            }
+            DdgError::ZeroDistanceCycle { witness } => {
+                write!(f, "zero-distance dependence cycle through {witness}")
+            }
+        }
+    }
+}
+
+impl Error for DdgError {}
+
+/// Checks all well-formedness rules; returns the first violation found.
+pub(crate) fn validate(g: &Ddg) -> Result<(), DdgError> {
+    if g.num_ops() == 0 {
+        return Err(DdgError::Empty);
+    }
+    for e in g.edges() {
+        if e.kind() == EdgeKind::RegFlow && !g.op(e.from()).kind().defines_value() {
+            return Err(DdgError::RegEdgeFromStore { store: e.from() });
+        }
+        if e.is_fixed() {
+            if e.distance() != 0 {
+                return Err(DdgError::FixedEdgeWithDistance {
+                    from: e.from(),
+                    to: e.to(),
+                    distance: e.distance(),
+                });
+            }
+            if e.kind() != EdgeKind::RegFlow {
+                return Err(DdgError::FixedEdgeWrongKind { from: e.from(), to: e.to() });
+            }
+        }
+    }
+    if let Some(witness) = zero_distance_cycle(g) {
+        return Err(DdgError::ZeroDistanceCycle { witness });
+    }
+    Ok(())
+}
+
+/// Finds a node on a cycle all of whose edges have distance zero, if any.
+///
+/// Such a cycle makes the loop unschedulable: an operation would transitively
+/// depend on its own result within a single iteration. (Loop-carried cycles,
+/// i.e. recurrences, are fine — they just bound RecMII.)
+fn zero_distance_cycle(g: &Ddg) -> Option<OpId> {
+    // DFS over the subgraph of zero-distance edges with coloring.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let n = g.num_ops();
+    let mut color = vec![Color::White; n];
+    // Iterative DFS to avoid recursion limits on big graphs.
+    for root in g.op_ids() {
+        if color[root.index()] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(OpId, bool)> = vec![(root, false)];
+        while let Some((v, processed)) = stack.pop() {
+            if processed {
+                color[v.index()] = Color::Black;
+                continue;
+            }
+            if color[v.index()] == Color::Black {
+                continue;
+            }
+            if color[v.index()] == Color::Grey {
+                // Already on the stack as unprocessed duplicate; skip.
+                continue;
+            }
+            color[v.index()] = Color::Grey;
+            stack.push((v, true));
+            for e in g.out_edges(v) {
+                if e.distance() != 0 {
+                    continue;
+                }
+                match color[e.to().index()] {
+                    Color::Grey => return Some(e.to()),
+                    Color::White => stack.push((e.to(), false)),
+                    Color::Black => {}
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+    use crate::op::OpKind;
+
+    #[test]
+    fn empty_graph_is_invalid() {
+        assert_eq!(Ddg::new("e").validate(), Err(DdgError::Empty));
+    }
+
+    #[test]
+    fn valid_chain_passes() {
+        let mut g = Ddg::new("c");
+        let a = g.add_op(OpKind::Load, "a");
+        let b = g.add_op(OpKind::Store, "b");
+        g.add_edge(Edge::new(a, b, EdgeKind::RegFlow, 0));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn reg_edge_from_store_rejected() {
+        let mut g = Ddg::new("bad");
+        let s = g.add_op(OpKind::Store, "s");
+        let t = g.add_op(OpKind::Add, "t");
+        g.add_edge(Edge::new(s, t, EdgeKind::RegFlow, 0));
+        assert_eq!(g.validate(), Err(DdgError::RegEdgeFromStore { store: s }));
+    }
+
+    #[test]
+    fn mem_edge_from_store_is_fine() {
+        let mut g = Ddg::new("ok");
+        let s = g.add_op(OpKind::Store, "s");
+        let l = g.add_op(OpKind::Load, "l");
+        g.add_edge(Edge::new(s, l, EdgeKind::Mem, 1));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn multiple_consistent_bonds_accepted() {
+        // Two reloads bonded to one consumer (with a stagger) are legal;
+        // offset consistency is machine-dependent and checked by the
+        // scheduler's complex-group derivation.
+        let mut g = Ddg::new("bonds");
+        let a = g.add_op(OpKind::Load, "a");
+        let b = g.add_op(OpKind::Load, "b");
+        let c = g.add_op(OpKind::Add, "c");
+        g.add_edge(Edge::fixed(a, c));
+        g.add_edge(Edge::fixed_staggered(b, c, 1));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_distance_cycle_rejected() {
+        let mut g = Ddg::new("cyc0");
+        let a = g.add_op(OpKind::Add, "a");
+        let b = g.add_op(OpKind::Add, "b");
+        g.add_edge(Edge::new(a, b, EdgeKind::RegFlow, 0));
+        g.add_edge(Edge::new(b, a, EdgeKind::RegFlow, 0));
+        assert!(matches!(g.validate(), Err(DdgError::ZeroDistanceCycle { .. })));
+    }
+
+    #[test]
+    fn loop_carried_cycle_accepted() {
+        let mut g = Ddg::new("rec");
+        let a = g.add_op(OpKind::Add, "a");
+        let b = g.add_op(OpKind::Add, "b");
+        g.add_edge(Edge::new(a, b, EdgeKind::RegFlow, 0));
+        g.add_edge(Edge::new(b, a, EdgeKind::RegFlow, 1));
+        assert!(g.validate().is_ok(), "recurrences are legal");
+    }
+
+    #[test]
+    fn self_loop_with_distance_accepted() {
+        let mut g = Ddg::new("self");
+        let a = g.add_op(OpKind::Add, "a");
+        g.add_edge(Edge::new(a, a, EdgeKind::RegFlow, 1));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn self_loop_zero_distance_rejected() {
+        let mut g = Ddg::new("self0");
+        let a = g.add_op(OpKind::Add, "a");
+        g.add_edge(Edge::new(a, a, EdgeKind::RegFlow, 0));
+        assert_eq!(g.validate(), Err(DdgError::ZeroDistanceCycle { witness: a }));
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = DdgError::RegEdgeFromStore { store: OpId::new(7) };
+        assert!(e.to_string().contains("op7"));
+    }
+}

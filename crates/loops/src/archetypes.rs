@@ -1,0 +1,285 @@
+//! Loop archetype generators.
+//!
+//! Each generator builds one synthetic loop body in the style of a numeric
+//! kernel family. The archetypes are chosen to span the axes the paper's
+//! evaluation exercises: resource pressure (memory-bound streams vs
+//! compute-bound trees), recurrence-bound loops, long-latency operations,
+//! and — crucially — loops whose register requirement is dominated by
+//! lifetime *distance components* (stencil taps), which defeat the
+//! increase-II strategy.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use regpipe_ddg::{Ddg, DdgBuilder, OpId, OpKind};
+
+/// `x(i) = a·y(i) + b` streaming lanes: low pressure, memory bound.
+pub fn stream(rng: &mut StdRng, name: String) -> Ddg {
+    let mut b = DdgBuilder::new(name);
+    let lanes = rng.random_range(1..4usize);
+    for l in 0..lanes {
+        let ld = b.add_op(OpKind::Load, format!("ld{l}"));
+        let mut cur = ld;
+        let depth = rng.random_range(1..4usize);
+        for d in 0..depth {
+            let kind = if rng.random_range(0..2u32) == 0 { OpKind::Mul } else { OpKind::Add };
+            let op = b.add_op(kind, format!("t{l}_{d}"));
+            b.reg(cur, op);
+            if kind == OpKind::Mul && rng.random_range(0..2u32) == 0 {
+                b.invariant(format!("c{l}_{d}"), &[op]);
+            }
+            cur = op;
+        }
+        let st = b.add_op(OpKind::Store, format!("st{l}"));
+        b.reg(cur, st);
+    }
+    b.build().expect("stream archetype is well-formed")
+}
+
+/// Multi-tap stencil: `s(i) = Σ_j c_j · y(i−j)` over one or more arrays.
+///
+/// The accumulation chain pins every tap's consumer after the load, so each
+/// array contributes a lifetime with an irreducible distance component of
+/// `taps` iterations — the structure that makes increase-II non-convergent
+/// when wide enough.
+pub fn stencil(rng: &mut StdRng, name: String) -> Ddg {
+    let arrays = rng.random_range(1..4usize);
+    let taps = rng.random_range(2..9u32);
+    let extra = rng.random_range(0..4usize);
+    stencil_with(rng, name, arrays, taps, extra)
+}
+
+/// The heavy tail: many arrays, deep taps, a pile of coefficient
+/// invariants. These loops have register floors far above small register
+/// files and carry large execution weights.
+pub fn monster(rng: &mut StdRng, name: String) -> Ddg {
+    let arrays = rng.random_range(4..8usize);
+    let taps = rng.random_range(8..14u32);
+    let extra = rng.random_range(8..18usize);
+    stencil_with(rng, name, arrays, taps, extra)
+}
+
+/// Shared stencil construction: `arrays` independent tapped accumulations
+/// combined into one result, plus `extra_invariants` standalone scalars.
+fn stencil_with(
+    rng: &mut StdRng,
+    name: String,
+    arrays: usize,
+    taps: u32,
+    extra_invariants: usize,
+) -> Ddg {
+    let mut b = DdgBuilder::new(name);
+    let mut lane_results: Vec<OpId> = Vec::new();
+    for a in 0..arrays {
+        let ld = b.add_op(OpKind::Load, format!("ld{a}"));
+        // a0 = y(i) * c0 — the δ0 use that pins the chain after the load.
+        let mut acc = b.add_op(OpKind::Mul, format!("m{a}_0"));
+        b.reg(ld, acc);
+        b.invariant(format!("c{a}_0"), &[acc]);
+        for j in 1..=taps {
+            // acc = acc (*+) y(i-j): alternate muls and adds for FU balance.
+            let kind = if j % 2 == 0 { OpKind::Mul } else { OpKind::Add };
+            let next = b.add_op(kind, format!("a{a}_{j}"));
+            b.reg(acc, next);
+            b.reg_dist(ld, next, j);
+            acc = next;
+        }
+        lane_results.push(acc);
+    }
+    // Combine lanes and store.
+    let mut combined = lane_results[0];
+    for (a, &lane) in lane_results.iter().enumerate().skip(1) {
+        let add = b.add_op(OpKind::Add, format!("comb{a}"));
+        b.reg(combined, add);
+        b.reg(lane, add);
+        combined = add;
+    }
+    let st = b.add_op(OpKind::Store, "st");
+    b.reg(combined, st);
+    // Standalone scalar parameters occupying registers regardless of II.
+    for k in 0..extra_invariants {
+        let use_op = b.add_op(OpKind::Mul, format!("p{k}"));
+        b.reg(combined, use_op);
+        b.invariant(format!("k{k}"), &[use_op]);
+        let sink = b.add_op(OpKind::Store, format!("stp{k}"));
+        b.reg(use_op, sink);
+        let _ = rng;
+    }
+    b.build().expect("stencil archetype is well-formed")
+}
+
+/// Reductions: partial dot products with an accumulator recurrence
+/// (`acc += x·y`, distance 1). Recurrence-bound for long-latency adders.
+pub fn reduction(rng: &mut StdRng, name: String) -> Ddg {
+    let mut b = DdgBuilder::new(name);
+    let partials = rng.random_range(1..4usize);
+    for p in 0..partials {
+        let lx = b.add_op(OpKind::Load, format!("lx{p}"));
+        let ly = b.add_op(OpKind::Load, format!("ly{p}"));
+        let mul = b.add_op(OpKind::Mul, format!("m{p}"));
+        b.reg(lx, mul);
+        b.reg(ly, mul);
+        let acc = b.add_op(OpKind::Add, format!("acc{p}"));
+        b.reg(mul, acc);
+        b.reg_dist(acc, acc, rng.random_range(1..3u32));
+    }
+    b.build().expect("reduction archetype is well-formed")
+}
+
+/// Wide ILP: many independent multiply/add trees sharing a few loads.
+/// High scheduling-component pressure that increase-II *can* reduce.
+pub fn wide_ilp(rng: &mut StdRng, name: String) -> Ddg {
+    let mut b = DdgBuilder::new(name);
+    let shared = rng.random_range(2..5usize);
+    let loads: Vec<OpId> =
+        (0..shared).map(|s| b.add_op(OpKind::Load, format!("ld{s}"))).collect();
+    let lanes = rng.random_range(4..12usize);
+    for l in 0..lanes {
+        let mul = b.add_op(OpKind::Mul, format!("m{l}"));
+        b.reg(loads[l % shared], mul);
+        if rng.random_range(0..2u32) == 0 {
+            b.invariant(format!("w{l}"), &[mul]);
+        } else {
+            b.reg(loads[(l + 1) % shared], mul);
+        }
+        let add = b.add_op(OpKind::Add, format!("a{l}"));
+        b.reg(mul, add);
+        b.reg(loads[(l + 2) % shared], add);
+        let st = b.add_op(OpKind::Store, format!("st{l}"));
+        b.reg(add, st);
+    }
+    b.build().expect("wide archetype is well-formed")
+}
+
+/// Long-latency kernels: a divide or square root on the critical path
+/// (normalizations, Cholesky-style updates).
+pub fn divsqrt(rng: &mut StdRng, name: String) -> Ddg {
+    let mut b = DdgBuilder::new(name);
+    let ld = b.add_op(OpKind::Load, "ld");
+    let kind = if rng.random_range(0..3u32) == 0 { OpKind::Sqrt } else { OpKind::Div };
+    let slow = b.add_op(kind, "slow");
+    b.reg(ld, slow);
+    let lanes = rng.random_range(1..4usize);
+    for l in 0..lanes {
+        let lv = b.add_op(OpKind::Load, format!("lv{l}"));
+        let mul = b.add_op(OpKind::Mul, format!("m{l}"));
+        b.reg(slow, mul);
+        b.reg(lv, mul);
+        let st = b.add_op(OpKind::Store, format!("st{l}"));
+        b.reg(mul, st);
+    }
+    b.build().expect("divsqrt archetype is well-formed")
+}
+
+/// Carried chains: a first-order linear recurrence through several
+/// operations (`x(i) = f(x(i−d))`) feeding a streamed output.
+pub fn carried_chain(rng: &mut StdRng, name: String) -> Ddg {
+    let mut b = DdgBuilder::new(name);
+    let len = rng.random_range(2..6usize);
+    let dist = rng.random_range(1..4u32);
+    let head = b.add_op(OpKind::Add, "x0");
+    let mut cur = head;
+    for d in 1..len {
+        let kind = if d % 2 == 0 { OpKind::Add } else { OpKind::Mul };
+        let op = b.add_op(kind, format!("x{d}"));
+        b.reg(cur, op);
+        cur = op;
+    }
+    b.reg_dist(cur, head, dist);
+    // Feed the recurrence with memory traffic on the side.
+    let ld = b.add_op(OpKind::Load, "ld");
+    b.reg(ld, head);
+    let st = b.add_op(OpKind::Store, "st");
+    b.reg(cur, st);
+    if rng.random_range(0..2u32) == 0 {
+        b.invariant("alpha", &[head]);
+    }
+    b.build().expect("chain archetype is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use regpipe_ddg::algo::recurrences;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn all_archetypes_validate() {
+        let mut r = rng();
+        for i in 0..20 {
+            stream(&mut r, format!("s{i}")).validate().unwrap();
+            stencil(&mut r, format!("t{i}")).validate().unwrap();
+            reduction(&mut r, format!("r{i}")).validate().unwrap();
+            wide_ilp(&mut r, format!("w{i}")).validate().unwrap();
+            divsqrt(&mut r, format!("d{i}")).validate().unwrap();
+            carried_chain(&mut r, format!("c{i}")).validate().unwrap();
+            monster(&mut r, format!("m{i}")).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn reductions_and_chains_have_recurrences() {
+        let mut r = rng();
+        assert!(!recurrences(&reduction(&mut r, "r".into())).is_empty());
+        assert!(!recurrences(&carried_chain(&mut r, "c".into())).is_empty());
+    }
+
+    #[test]
+    fn streams_are_acyclic() {
+        let mut r = rng();
+        assert!(recurrences(&stream(&mut r, "s".into())).is_empty());
+    }
+
+    #[test]
+    fn monsters_carry_big_distance_floors() {
+        let mut r = rng();
+        for i in 0..10 {
+            let g = monster(&mut r, format!("m{i}"));
+            // Σ over arrays of taps ≥ 15 distance registers.
+            let floor: u32 = g
+                .live_variants()
+                .map(|v| g.reg_consumers(v).map(|(_, d)| d).max().unwrap_or(0))
+                .sum();
+            assert!(floor >= 15, "monster {i} floor {floor}");
+        }
+    }
+
+    #[test]
+    fn stencil_taps_are_pinned_by_zero_distance_paths() {
+        // Pinning = the loop-carried consumer is reachable from the producer
+        // through zero-distance edges alone, so no schedule can hoist it
+        // before the producer and cancel the distance component.
+        fn reaches_zero_dist(g: &regpipe_ddg::Ddg, from: regpipe_ddg::OpId, to: regpipe_ddg::OpId) -> bool {
+            let mut seen = vec![false; g.num_ops()];
+            let mut stack = vec![from];
+            seen[from.index()] = true;
+            while let Some(v) = stack.pop() {
+                if v == to {
+                    return true;
+                }
+                for e in g.out_edges(v) {
+                    if e.distance() == 0 && !seen[e.to().index()] {
+                        seen[e.to().index()] = true;
+                        stack.push(e.to());
+                    }
+                }
+            }
+            false
+        }
+        let mut r = rng();
+        let g = stencil(&mut r, "t".into());
+        for v in g.live_variants() {
+            for (c, d) in g.reg_consumers(v) {
+                if d > 0 {
+                    assert!(
+                        reaches_zero_dist(&g, v, c),
+                        "loop-carried consumer {c} must stay after producer {v}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Machine models for software pipelining.
+//!
+//! This crate describes the *resources* side of modulo scheduling:
+//!
+//! * [`MachineConfig`] — functional-unit classes, unit counts, per-operation
+//!   latencies and per-class pipelining, with constructors for the three
+//!   configurations evaluated in the paper (Section 5): [`MachineConfig::p1l4`],
+//!   [`MachineConfig::p2l4`] and [`MachineConfig::p2l6`], plus the didactic
+//!   [`MachineConfig::uniform`] machine of the paper's Figure 2.
+//! * [`Mrt`] — the modulo reservation table used by the schedulers, with
+//!   correct handling of non-pipelined long-latency operations (the paper's
+//!   Div/Sqrt unit), including occupancies larger than the II when several
+//!   units exist.
+//! * [`res_mii`] — the resource-constrained lower bound on the initiation
+//!   interval.
+//!
+//! # Example
+//!
+//! ```
+//! use regpipe_ddg::{DdgBuilder, OpKind};
+//! use regpipe_machine::{res_mii, MachineConfig};
+//!
+//! let mut b = DdgBuilder::new("l");
+//! let x = b.add_op(OpKind::Load, "x");
+//! let y = b.add_op(OpKind::Load, "y");
+//! let m = b.add_op(OpKind::Mul, "m");
+//! b.reg(x, m);
+//! b.reg(y, m);
+//! let g = b.build()?;
+//!
+//! // One load/store unit: the two loads force II >= 2.
+//! assert_eq!(res_mii(&MachineConfig::p1l4(), &g), 2);
+//! // Two load/store units: II = 1 suffices.
+//! assert_eq!(res_mii(&MachineConfig::p2l4(), &g), 1);
+//! # Ok::<(), regpipe_ddg::DdgError>(())
+//! ```
+
+mod config;
+mod mrt;
+
+pub use config::{FuClass, MachineConfig};
+pub use mrt::Mrt;
+
+use regpipe_ddg::Ddg;
+
+/// The resource-constrained minimum initiation interval (Section 2.2).
+///
+/// For each functional-unit class, the total occupancy of the loop's
+/// operations divided by the number of units bounds the II from below;
+/// `ResMII` is the maximum over classes. Non-pipelined classes contribute
+/// their full latency per operation.
+///
+/// Returns at least 1 (an empty class usage still allows II = 1).
+pub fn res_mii(machine: &MachineConfig, ddg: &Ddg) -> u32 {
+    let mut occupancy = vec![0u64; machine.num_classes()];
+    for (_, node) in ddg.ops() {
+        let class = machine.class_of(node.kind());
+        occupancy[class.index()] += u64::from(machine.occupancy(node.kind()));
+    }
+    let mut mii = 1u64;
+    for class in machine.classes() {
+        let units = u64::from(machine.units(class));
+        let occ = occupancy[class.index()];
+        if occ > 0 {
+            mii = mii.max(occ.div_ceil(units));
+        }
+    }
+    u32::try_from(mii).expect("ResMII overflows u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regpipe_ddg::{DdgBuilder, OpKind};
+
+    fn loop_with(kinds: &[OpKind]) -> Ddg {
+        let mut b = DdgBuilder::new("l");
+        for (i, &k) in kinds.iter().enumerate() {
+            b.add_op(k, format!("n{i}"));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn res_mii_counts_busiest_class() {
+        let g = loop_with(&[OpKind::Load, OpKind::Load, OpKind::Store, OpKind::Add]);
+        // P1L4: 3 memory ops on 1 unit -> 3.
+        assert_eq!(res_mii(&MachineConfig::p1l4(), &g), 3);
+        // P2L4: 3 memory ops on 2 units -> 2.
+        assert_eq!(res_mii(&MachineConfig::p2l4(), &g), 2);
+    }
+
+    #[test]
+    fn res_mii_of_trivial_loop_is_one() {
+        let g = loop_with(&[OpKind::Add]);
+        assert_eq!(res_mii(&MachineConfig::p1l4(), &g), 1);
+    }
+
+    #[test]
+    fn non_pipelined_divide_contributes_latency() {
+        let g = loop_with(&[OpKind::Div]);
+        // Div latency 17, not pipelined, 1 unit -> ResMII 17.
+        assert_eq!(res_mii(&MachineConfig::p1l4(), &g), 17);
+        // Two units halve the bound.
+        assert_eq!(res_mii(&MachineConfig::p2l4(), &g), 9);
+    }
+
+    #[test]
+    fn sqrt_is_heavier_than_div() {
+        let g = loop_with(&[OpKind::Sqrt]);
+        assert_eq!(res_mii(&MachineConfig::p1l4(), &g), 30);
+    }
+
+    #[test]
+    fn uniform_machine_spreads_everything() {
+        let g = loop_with(&[OpKind::Load, OpKind::Mul, OpKind::Add, OpKind::Store]);
+        // The Figure 2 machine: 4 universal units, latency 2, fully pipelined.
+        assert_eq!(res_mii(&MachineConfig::uniform(4, 2), &g), 1);
+        assert_eq!(res_mii(&MachineConfig::uniform(2, 2), &g), 2);
+        assert_eq!(res_mii(&MachineConfig::uniform(1, 2), &g), 4);
+    }
+}

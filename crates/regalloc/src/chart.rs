@@ -1,0 +1,79 @@
+//! ASCII register-pressure charts (the paper's Figure 2f visualization).
+
+use std::fmt::Write as _;
+
+use crate::lifetime::LifetimeAnalysis;
+
+/// Renders the per-cycle loop-variant pressure of a kernel as a bar chart,
+/// one row per kernel cycle, in the style of the paper's Figure 2f.
+///
+/// ```
+/// use regpipe_ddg::{DdgBuilder, OpKind};
+/// use regpipe_sched::Schedule;
+/// use regpipe_regalloc::{pressure_chart, LifetimeAnalysis};
+///
+/// let mut b = DdgBuilder::new("l");
+/// let p = b.add_op(OpKind::Add, "p");
+/// let c = b.add_op(OpKind::Store, "c");
+/// b.reg(p, c);
+/// let g = b.build()?;
+/// let s = Schedule::new(2, vec![0, 4]);
+/// let chart = pressure_chart(&LifetimeAnalysis::new(&g, &s));
+/// assert!(chart.contains("##"));
+/// # Ok::<(), regpipe_ddg::DdgError>(())
+/// ```
+pub fn pressure_chart(analysis: &LifetimeAnalysis) -> String {
+    let mut out = String::new();
+    let max = analysis.pressure().iter().copied().max().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "register pressure per kernel cycle (II = {}, MaxLive = {} variants + {} invariants):",
+        analysis.ii(),
+        analysis.max_live_variants(),
+        analysis.live_invariants()
+    );
+    for (cycle, &p) in analysis.pressure().iter().enumerate() {
+        let bar: String = std::iter::repeat_n('#', p as usize).collect();
+        let marker = if p == max && max > 0 { " <- MaxLive" } else { "" };
+        let _ = writeln!(out, "  {cycle:>3}: {bar:<w$} {p}{marker}", w = max as usize);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regpipe_ddg::{DdgBuilder, OpKind};
+    use regpipe_sched::Schedule;
+
+    #[test]
+    fn chart_marks_the_peak() {
+        let mut b = DdgBuilder::new("peak");
+        let p1 = b.add_op(OpKind::Add, "p1");
+        let p2 = b.add_op(OpKind::Mul, "p2");
+        let c = b.add_op(OpKind::Store, "c");
+        b.reg(p1, c);
+        b.reg(p2, c);
+        let g = b.build().unwrap();
+        // II=3: p1 lives [0,4) (wrapping into the next instance's cycle 0),
+        // p2 lives [2,4): pressure [3, 1, 2].
+        let s = Schedule::new(3, vec![0, 2, 4]);
+        let analysis = LifetimeAnalysis::new(&g, &s);
+        assert_eq!(analysis.pressure(), &[3, 1, 2]);
+        let chart = pressure_chart(&analysis);
+        assert!(chart.contains("MaxLive = 3 variants"));
+        assert!(chart.contains("<- MaxLive"));
+        assert_eq!(chart.lines().count(), 4, "header + one row per cycle");
+    }
+
+    #[test]
+    fn empty_pressure_renders() {
+        let mut b = DdgBuilder::new("empty");
+        b.add_op(OpKind::Store, "s");
+        let g = b.build().unwrap();
+        let s = Schedule::new(2, vec![0]);
+        let chart = pressure_chart(&LifetimeAnalysis::new(&g, &s));
+        assert!(chart.contains("MaxLive = 0 variants"));
+        assert!(!chart.contains("<- MaxLive"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Modulo variable expansion (MVE).
+//!
+//! Without a rotating register file, a lifetime longer than the II would be
+//! overwritten by the next iteration's instance. Lam's modulo variable
+//! expansion fixes this at compile time: unroll the kernel `K` times and
+//! rename each variant's definitions across the copies (paper Section 2.3
+//! mentions it as the software alternative to rotating hardware).
+
+use std::fmt;
+
+use crate::lifetime::LifetimeAnalysis;
+
+/// The result of MVE-style allocation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MveAllocation {
+    unroll: u32,
+    variant_regs: u32,
+    invariant_regs: u32,
+}
+
+impl MveAllocation {
+    /// The kernel unroll factor `K` (1 = no unrolling needed).
+    pub fn unroll(&self) -> u32 {
+        self.unroll
+    }
+
+    /// Registers needed by loop variants after renaming
+    /// (`Σ ⌈lifetime / II⌉` — each variant needs one name per concurrently
+    /// live instance).
+    pub fn variant_regs(&self) -> u32 {
+        self.variant_regs
+    }
+
+    /// Static registers for the live loop invariants.
+    pub fn invariant_regs(&self) -> u32 {
+        self.invariant_regs
+    }
+
+    /// Total register requirement.
+    pub fn total(&self) -> u32 {
+        self.variant_regs + self.invariant_regs
+    }
+
+    /// Code-size multiplier of the unrolled kernel.
+    pub fn code_growth(&self) -> u32 {
+        self.unroll
+    }
+}
+
+impl fmt::Display for MveAllocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MVE: unroll x{}, {} regs ({} variant + {} invariant)",
+            self.unroll,
+            self.total(),
+            self.variant_regs,
+            self.invariant_regs
+        )
+    }
+}
+
+/// Modulo-variable-expansion allocator.
+///
+/// Uses the standard "smallest sufficient unroll" policy: `K` is the least
+/// common multiple of each variant's instance count (capped — beyond the
+/// cap, the maximum instance count is used, which wastes no registers but
+/// forces some copies to be renamed modulo a non-dividing period and is
+/// then accounted conservatively).
+#[derive(Clone, Copy, Debug)]
+pub struct MveAllocator {
+    lcm_cap: u32,
+}
+
+impl Default for MveAllocator {
+    fn default() -> Self {
+        MveAllocator { lcm_cap: 64 }
+    }
+}
+
+impl MveAllocator {
+    /// Creates the allocator with the default unroll cap (64 kernel copies).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum tolerated unroll factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_unroll_cap(cap: u32) -> Self {
+        assert!(cap > 0, "unroll cap must be positive");
+        MveAllocator { lcm_cap: cap }
+    }
+
+    /// Computes the MVE allocation for `analysis`.
+    pub fn allocate(&self, analysis: &LifetimeAnalysis) -> MveAllocation {
+        let ii = analysis.ii();
+        let mut unroll: u64 = 1;
+        let mut variant_regs: u32 = 0;
+        for lt in analysis.lifetimes() {
+            let k = lt.concurrent_instances(ii).max(1);
+            variant_regs += k;
+            unroll = lcm(unroll, u64::from(k)).min(u64::from(self.lcm_cap));
+        }
+        MveAllocation {
+            unroll: u32::try_from(unroll).expect("capped"),
+            variant_regs,
+            invariant_regs: analysis.live_invariants(),
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeAnalysis;
+    use regpipe_ddg::{DdgBuilder, OpKind};
+    use regpipe_sched::Schedule;
+
+    #[test]
+    fn short_lifetimes_need_no_unrolling() {
+        let mut b = DdgBuilder::new("short");
+        let p = b.add_op(OpKind::Add, "p");
+        let c = b.add_op(OpKind::Store, "c");
+        b.reg(p, c);
+        let g = b.build().unwrap();
+        let s = Schedule::new(4, vec![0, 4]); // lifetime 4 = II
+        let alloc = MveAllocator::new().allocate(&LifetimeAnalysis::new(&g, &s));
+        assert_eq!(alloc.unroll(), 1);
+        assert_eq!(alloc.variant_regs(), 1);
+    }
+
+    #[test]
+    fn unroll_is_lcm_of_instance_counts() {
+        let mut b = DdgBuilder::new("mix");
+        let p1 = b.add_op(OpKind::Add, "p1");
+        let c1 = b.add_op(OpKind::Copy, "c1");
+        let p2 = b.add_op(OpKind::Mul, "p2");
+        let c2 = b.add_op(OpKind::Copy, "c2");
+        b.reg(p1, c1);
+        b.reg(p2, c2);
+        let g = b.build().unwrap();
+        // II=2: lifetime of p1 = 4 cycles (2 instances), p2 = 6 (3).
+        let s = Schedule::from_fixed(2, &[(p1, 0), (c1, 4), (p2, 0), (c2, 6)]);
+        let alloc = MveAllocator::new().allocate(&LifetimeAnalysis::new(&g, &s));
+        assert_eq!(alloc.unroll(), 6, "lcm(2, 3)");
+        assert_eq!(alloc.variant_regs(), 5, "2 + 3 names");
+        assert_eq!(alloc.code_growth(), 6);
+    }
+
+    #[test]
+    fn unroll_cap_is_respected() {
+        let mut b = DdgBuilder::new("caps");
+        let p = b.add_op(OpKind::Add, "p");
+        let c = b.add_op(OpKind::Copy, "c");
+        b.reg_dist(p, c, 9);
+        let g = b.build().unwrap();
+        let s = Schedule::from_fixed(1, &[(p, 0), (c, 1)]); // lifetime 10
+        let alloc =
+            MveAllocator::with_unroll_cap(4).allocate(&LifetimeAnalysis::new(&g, &s));
+        assert!(alloc.unroll() <= 4);
+        assert_eq!(alloc.variant_regs(), 10);
+    }
+
+    #[test]
+    fn mve_needs_at_least_rotating_requirement() {
+        // MVE's per-variant ceil sum is never below the cylinder packing.
+        let mut b = DdgBuilder::new("cmp");
+        let p1 = b.add_op(OpKind::Add, "p1");
+        let p2 = b.add_op(OpKind::Mul, "p2");
+        let c = b.add_op(OpKind::Store, "c");
+        b.reg(p1, c);
+        b.reg(p2, c);
+        let g = b.build().unwrap();
+        let s = Schedule::from_fixed(3, &[(p1, 0), (p2, 1), (c, 7)]);
+        let analysis = LifetimeAnalysis::new(&g, &s);
+        let mve = MveAllocator::new().allocate(&analysis);
+        let rot = crate::RotatingAllocator::new().allocate(&analysis);
+        assert!(mve.total() >= rot.total());
+    }
+}

@@ -1,0 +1,167 @@
+//! Timing analysis: ASAP/ALAP starts, depth, height and mobility for a
+//! candidate II.
+
+use regpipe_ddg::{Ddg, OpId};
+use regpipe_machine::MachineConfig;
+
+use crate::edge_latency;
+
+/// Per-operation timing bounds at a fixed candidate II.
+///
+/// `asap` is the earliest start consistent with all dependences (longest
+/// path from the graph's sources with edge weights `lat − δ·II`); `alap` is
+/// the latest start that still allows every other operation to meet the
+/// critical path length. `mobility = alap − asap` is the scheduling slack
+/// used for tie-breaking in the ordering phase.
+///
+/// The analysis is only well-defined for `ii ≥ RecMII`; at smaller IIs the
+/// longest-path iteration would not converge. [`TimeAnalysis::new`] bails
+/// out (returns `None`) if it detects divergence, which doubles as a cheap
+/// RecMII feasibility check.
+#[derive(Clone, Debug)]
+pub struct TimeAnalysis {
+    ii: u32,
+    asap: Vec<i64>,
+    alap: Vec<i64>,
+    horizon: i64,
+}
+
+impl TimeAnalysis {
+    /// Runs the analysis for `ii`; `None` if `ii < RecMII` (divergent).
+    pub fn new(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Option<Self> {
+        let n = ddg.num_ops();
+        let mut asap = vec![0i64; n];
+        // Bellman–Ford style relaxation; at most n rounds when feasible.
+        let mut changed = true;
+        let mut rounds = 0usize;
+        while changed {
+            changed = false;
+            rounds += 1;
+            if rounds > n + 1 {
+                return None; // positive cycle: ii < RecMII
+            }
+            for e in ddg.edges() {
+                let w = edge_latency(machine, ddg, e)
+                    - i64::from(ii) * i64::from(e.distance());
+                let cand = asap[e.from().index()] + w;
+                if cand > asap[e.to().index()] {
+                    asap[e.to().index()] = cand;
+                    changed = true;
+                }
+            }
+        }
+        // Critical path length: the makespan if every op ran to completion.
+        let horizon = ddg
+            .ops()
+            .map(|(id, node)| asap[id.index()] + i64::from(machine.latency(node.kind())))
+            .max()
+            .unwrap_or(0);
+        let mut alap = vec![horizon; n];
+        for (id, node) in ddg.ops() {
+            alap[id.index()] = horizon - i64::from(machine.latency(node.kind()));
+        }
+        changed = true;
+        rounds = 0;
+        while changed {
+            changed = false;
+            rounds += 1;
+            if rounds > n + 1 {
+                return None;
+            }
+            for e in ddg.edges() {
+                let w = edge_latency(machine, ddg, e)
+                    - i64::from(ii) * i64::from(e.distance());
+                let cand = alap[e.to().index()] - w;
+                if cand < alap[e.from().index()] {
+                    alap[e.from().index()] = cand;
+                    changed = true;
+                }
+            }
+        }
+        Some(TimeAnalysis { ii, asap, alap, horizon })
+    }
+
+    /// The II this analysis was computed for.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Earliest feasible start of `op` (a.k.a. depth).
+    pub fn asap(&self, op: OpId) -> i64 {
+        self.asap[op.index()]
+    }
+
+    /// Latest start of `op` that keeps the critical path.
+    pub fn alap(&self, op: OpId) -> i64 {
+        self.alap[op.index()]
+    }
+
+    /// Scheduling slack of `op`.
+    pub fn mobility(&self, op: OpId) -> i64 {
+        self.alap[op.index()] - self.asap[op.index()]
+    }
+
+    /// Length of the critical path (maximum `asap + latency` over all
+    /// operations); useful as a schedule-span estimate.
+    pub fn critical_path(&self) -> i64 {
+        self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regpipe_ddg::{DdgBuilder, OpKind};
+    use regpipe_machine::MachineConfig;
+
+    #[test]
+    fn chain_asap_accumulates_latencies() {
+        let mut b = DdgBuilder::new("chain");
+        let l = b.add_op(OpKind::Load, "l"); // lat 2
+        let m = b.add_op(OpKind::Mul, "m"); // lat 4
+        let s = b.add_op(OpKind::Store, "s");
+        b.reg(l, m);
+        b.reg(m, s);
+        let g = b.build().unwrap();
+        let machine = MachineConfig::p1l4();
+        let t = TimeAnalysis::new(&g, &machine, 1).unwrap();
+        assert_eq!(t.asap(l), 0);
+        assert_eq!(t.asap(m), 2);
+        assert_eq!(t.asap(s), 6);
+        assert_eq!(t.mobility(l), 0, "single chain: no slack");
+        assert_eq!(t.mobility(s), 0);
+    }
+
+    #[test]
+    fn loop_carried_edge_relaxes_with_ii() {
+        let mut b = DdgBuilder::new("lc");
+        let a = b.add_op(OpKind::Add, "a");
+        let c = b.add_op(OpKind::Add, "c");
+        b.reg(a, c);
+        b.reg_dist(c, a, 1);
+        let g = b.build().unwrap();
+        let machine = MachineConfig::p1l4();
+        // RecMII = 8: at II 8 the back edge is tight but feasible.
+        assert!(TimeAnalysis::new(&g, &machine, 8).is_some());
+        assert!(TimeAnalysis::new(&g, &machine, 7).is_none(), "diverges below RecMII");
+    }
+
+    #[test]
+    fn side_branch_has_mobility() {
+        // l -> add -> st and l -> st (short branch has slack).
+        let mut b = DdgBuilder::new("slack");
+        let l = b.add_op(OpKind::Load, "l");
+        let a = b.add_op(OpKind::Add, "a");
+        let c = b.add_op(OpKind::Copy, "c");
+        let s = b.add_op(OpKind::Store, "s");
+        b.reg(l, a);
+        b.reg(l, c); // copy lat 1, parallel to add lat 4
+        b.reg(a, s);
+        b.reg(c, s);
+        let g = b.build().unwrap();
+        let machine = MachineConfig::p1l4();
+        let t = TimeAnalysis::new(&g, &machine, 4).unwrap();
+        assert_eq!(t.mobility(a), 0);
+        assert_eq!(t.mobility(c), 3, "copy can slide by lat(add)-lat(copy)");
+    }
+}

@@ -1,0 +1,280 @@
+//! Complex-operation groups ("bonded" operations, paper Section 4.3).
+//!
+//! Spill loads and stores must stay glued to their consumer/producer: a
+//! spill store issues exactly `lat(producer)` cycles after the producer, a
+//! consumer exactly `lat(load)` cycles after its reload. Otherwise a
+//! register-insensitive scheduler could stretch the new lifetimes and
+//! *increase* register pressure, defeating the spill. The paper's fix is to
+//! schedule each bonded cluster as a single "complex operation".
+//!
+//! Fixed edges in the graph encode the bonds; this module derives the
+//! clusters and the exact cycle offset of every member relative to the
+//! cluster leader.
+
+use regpipe_ddg::{Ddg, OpId};
+use regpipe_machine::MachineConfig;
+
+/// The partition of a graph's operations into complex-operation groups.
+///
+/// Operations without bonds form singleton groups with offset 0.
+#[derive(Clone, Debug)]
+pub struct ComplexGroups {
+    /// Group index per operation.
+    group_of: Vec<u32>,
+    /// Offset (in cycles) of each operation relative to its group leader.
+    offset: Vec<i64>,
+    /// Members of each group, sorted by offset then id.
+    members: Vec<Vec<OpId>>,
+    /// Leader (offset-0 member) of each group.
+    leaders: Vec<OpId>,
+}
+
+impl ComplexGroups {
+    /// Derives groups from the graph's fixed edges.
+    ///
+    /// Offsets follow the bond rule `t(to) = t(from) + latency(from)`.
+    /// Offsets are normalized so each group's minimum offset is zero; the
+    /// operation at offset zero is the group's leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fixed edges form a cycle or assign an operation two
+    /// inconsistent offsets ([`Ddg::validate`] rejects such graphs).
+    pub fn new(ddg: &Ddg, machine: &MachineConfig) -> Self {
+        let n = ddg.num_ops();
+        // Union-find over fixed edges.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for e in ddg.edges().filter(|e| e.is_fixed()) {
+            let (a, b) = (e.from().index() as u32, e.to().index() as u32);
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra as usize] = rb;
+            }
+        }
+
+        // Relative offsets: solve the bond equalities by bidirectional BFS
+        // over fixed edges (a bond is a difference constraint, so any member
+        // can seed its group). Inconsistent bond systems — constructible
+        // only by hand, never by the spill rewriter — are rejected here.
+        let mut offset = vec![0i64; n];
+        let mut pinned = vec![false; n];
+        let mut fixed_out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut fixed_in: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let fixed_edges: Vec<_> = ddg.edges().filter(|e| e.is_fixed()).cloned().collect();
+        for (i, e) in fixed_edges.iter().enumerate() {
+            fixed_out[e.from().index()].push(i);
+            fixed_in[e.to().index()].push(i);
+        }
+        let bond_len = |e: &regpipe_ddg::Edge| {
+            i64::from(machine.latency(ddg.op(e.from()).kind())) + i64::from(e.stagger())
+        };
+        for seed in 0..n {
+            if pinned[seed] {
+                continue;
+            }
+            pinned[seed] = true;
+            offset[seed] = 0;
+            let mut queue = vec![seed];
+            while let Some(v) = queue.pop() {
+                for &i in &fixed_out[v] {
+                    let e = &fixed_edges[i];
+                    let want = offset[v] + bond_len(e);
+                    let t = e.to().index();
+                    if pinned[t] {
+                        assert_eq!(offset[t], want, "conflicting bond offsets for op {t}");
+                    } else {
+                        offset[t] = want;
+                        pinned[t] = true;
+                        queue.push(t);
+                    }
+                }
+                for &i in &fixed_in[v] {
+                    let e = &fixed_edges[i];
+                    let want = offset[v] - bond_len(e);
+                    let f = e.from().index();
+                    if pinned[f] {
+                        assert_eq!(offset[f], want, "conflicting bond offsets for op {f}");
+                    } else {
+                        offset[f] = want;
+                        pinned[f] = true;
+                        queue.push(f);
+                    }
+                }
+            }
+        }
+
+        // Collect groups, normalize offsets.
+        let mut group_of = vec![u32::MAX; n];
+        let mut members: Vec<Vec<OpId>> = Vec::new();
+        for v in 0..n {
+            let root = find(&mut parent, v as u32) as usize;
+            if group_of[root] == u32::MAX {
+                group_of[root] = members.len() as u32;
+                members.push(Vec::new());
+            }
+            let gi = group_of[root];
+            group_of[v] = gi;
+            members[gi as usize].push(OpId::new(v));
+        }
+        let mut leaders = Vec::with_capacity(members.len());
+        for group in &mut members {
+            let min = group.iter().map(|m| offset[m.index()]).min().unwrap_or(0);
+            for m in group.iter() {
+                offset[m.index()] -= min;
+            }
+            group.sort_by_key(|m| (offset[m.index()], m.index()));
+            leaders.push(group[0]);
+        }
+        ComplexGroups { group_of, offset, members, leaders }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether there are no groups (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Group index of `op`.
+    pub fn group_of(&self, op: OpId) -> usize {
+        self.group_of[op.index()] as usize
+    }
+
+    /// Offset of `op` relative to its group leader (≥ 0).
+    pub fn offset(&self, op: OpId) -> i64 {
+        self.offset[op.index()]
+    }
+
+    /// Members of the group containing `op`, sorted by offset.
+    pub fn members_of(&self, op: OpId) -> &[OpId] {
+        &self.members[self.group_of(op)]
+    }
+
+    /// The leader (offset-0 member) of group `g`.
+    pub fn leader(&self, g: usize) -> OpId {
+        self.leaders[g]
+    }
+
+    /// Whether `op` belongs to a multi-operation (complex) group.
+    pub fn is_complex(&self, op: OpId) -> bool {
+        self.members_of(op).len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regpipe_ddg::{DdgBuilder, OpKind};
+
+    #[test]
+    fn singleton_groups_without_bonds() {
+        let mut b = DdgBuilder::new("s");
+        let a = b.add_op(OpKind::Add, "a");
+        let c = b.add_op(OpKind::Mul, "c");
+        b.reg(a, c);
+        let g = b.build().unwrap();
+        let groups = ComplexGroups::new(&g, &MachineConfig::p1l4());
+        assert_eq!(groups.len(), 2);
+        assert!(!groups.is_complex(a));
+        assert_eq!(groups.offset(c), 0);
+    }
+
+    #[test]
+    fn bond_chain_offsets_follow_latencies() {
+        // producer(add, lat 4) ->! store ; load ->! consumer(add)
+        let mut b = DdgBuilder::new("bond");
+        let p = b.add_op(OpKind::Add, "p");
+        let s = b.add_op(OpKind::Store, "s");
+        b.bond(p, s);
+        let g = b.build().unwrap();
+        let m = MachineConfig::p1l4();
+        let groups = ComplexGroups::new(&g, &m);
+        assert_eq!(groups.len(), 1);
+        assert!(groups.is_complex(p));
+        assert_eq!(groups.leader(0), p);
+        assert_eq!(groups.offset(p), 0);
+        assert_eq!(groups.offset(s), 4, "store exactly lat(add) after producer");
+    }
+
+    #[test]
+    fn load_consumer_bond() {
+        let mut b = DdgBuilder::new("lc");
+        let l = b.add_op(OpKind::Load, "l");
+        let c = b.add_op(OpKind::Mul, "c");
+        b.bond(l, c);
+        let g = b.build().unwrap();
+        let groups = ComplexGroups::new(&g, &MachineConfig::p2l6());
+        assert_eq!(groups.offset(c), 2, "consumer exactly lat(load) after reload");
+        assert_eq!(groups.members_of(l), &[l, c]);
+    }
+
+    #[test]
+    fn staggered_reloads_bond_to_one_consumer() {
+        // Two reloads into one consumer: the second staggered by a cycle.
+        let mut b = DdgBuilder::new("stagger");
+        let l1 = b.add_op(OpKind::Load, "l1");
+        let l2 = b.add_op(OpKind::Load, "l2");
+        let c = b.add_op(OpKind::Add, "c");
+        b.bond(l1, c); // t(c) = t(l1) + 2
+        b.bond_staggered(l2, c, 1); // t(c) = t(l2) + 3
+        let g = b.build().unwrap();
+        let groups = ComplexGroups::new(&g, &MachineConfig::p1l4());
+        assert_eq!(groups.members_of(c).len(), 3);
+        // Normalized offsets: l2 earliest (0), l1 at 1, c at 3.
+        assert_eq!(groups.offset(l2), 0);
+        assert_eq!(groups.offset(l1), 1);
+        assert_eq!(groups.offset(c), 3);
+    }
+
+    #[test]
+    fn shared_consumer_merges_groups() {
+        // Two loads bonded to the same consumer would conflict; but two
+        // loads bonded to one consumer each, where the consumer is shared,
+        // is exactly what happens when an op has two spilled operands —
+        // validation forbids two fixed in-edges, so model it as one bond
+        // plus a free edge.
+        let mut b = DdgBuilder::new("m");
+        let l1 = b.add_op(OpKind::Load, "l1");
+        let l2 = b.add_op(OpKind::Load, "l2");
+        let c = b.add_op(OpKind::Add, "c");
+        b.bond(l1, c);
+        b.reg(l2, c);
+        let g = b.build().unwrap();
+        let groups = ComplexGroups::new(&g, &MachineConfig::p1l4());
+        assert_eq!(groups.members_of(l1).len(), 2);
+        assert!(!groups.is_complex(l2));
+    }
+
+    #[test]
+    fn transitive_bonds_accumulate() {
+        // a ->! b ->! c : offsets 0, lat(a), lat(a)+lat(b).
+        let mut b = DdgBuilder::new("t");
+        let x = b.add_op(OpKind::Load, "x"); // lat 2
+        let y = b.add_op(OpKind::Mul, "y"); // lat 4
+        let z = b.add_op(OpKind::Store, "z");
+        b.bond(x, y);
+        b.bond(y, z);
+        let g = b.build().unwrap();
+        let groups = ComplexGroups::new(&g, &MachineConfig::p1l4());
+        assert_eq!(groups.offset(x), 0);
+        assert_eq!(groups.offset(y), 2);
+        assert_eq!(groups.offset(z), 6);
+        assert_eq!(groups.len(), 1);
+    }
+}

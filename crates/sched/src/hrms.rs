@@ -1,0 +1,830 @@
+//! HRMS-style register-sensitive modulo scheduling.
+//!
+//! The paper uses HRMS (Hypernode Reduction Modulo Scheduling, by the same
+//! authors) as its core scheduler. HRMS has two phases:
+//!
+//! 1. An **ordering phase** that arranges the operations so every operation
+//!    is placed while only its predecessors *or* only its successors are
+//!    already scheduled (recurrences are handled first, in decreasing order
+//!    of their RecMII bound, together with the nodes on paths connecting
+//!    them).
+//! 2. A **placement phase** that walks the order, computing the earliest
+//!    start implied by scheduled predecessors and/or the latest start
+//!    implied by scheduled successors, and scanning at most II slots of the
+//!    modulo reservation table in the direction that keeps the operation as
+//!    close to its neighbours as possible.
+//!
+//! Keeping operations close to their producers/consumers is what makes the
+//! scheduler *register-sensitive*: lifetimes stay near their dataflow
+//! minimum. Where the MICRO-28 description of HRMS leaves details open we
+//! follow the ordering later formalized by the same group (Swing Modulo
+//! Scheduling), which preserves the pred-XOR-succ property.
+//!
+//! Complex-operation groups (bonded spill code, Section 4.3 of the paper)
+//! are ordered and placed atomically with exact member offsets.
+
+use std::collections::BTreeSet;
+
+use regpipe_ddg::{Ddg, OpId};
+use regpipe_machine::{MachineConfig, Mrt};
+
+use crate::analysis::TimeAnalysis;
+use crate::groups::ComplexGroups;
+use crate::{
+    edge_latency, fallback_max_ii, mii, SchedError, SchedRequest, Schedule, Scheduler,
+};
+
+const NEG_INF: i64 = i64::MIN / 4;
+
+/// The register-sensitive HRMS/Swing-style modulo scheduler.
+///
+/// See the [module documentation](self) for the algorithm outline.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct HrmsScheduler {
+    _private: (),
+}
+
+impl HrmsScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        HrmsScheduler { _private: () }
+    }
+}
+
+impl Scheduler for HrmsScheduler {
+    fn name(&self) -> &'static str {
+        "hrms"
+    }
+
+    fn schedule(
+        &self,
+        ddg: &Ddg,
+        machine: &MachineConfig,
+        request: &SchedRequest,
+    ) -> Result<Schedule, SchedError> {
+        let lower = mii(ddg, machine).max(request.min_ii.unwrap_or(1));
+        let upper = request
+            .max_ii
+            .unwrap_or_else(|| fallback_max_ii(ddg, machine))
+            .max(request.max_ii.unwrap_or(0));
+        if upper < lower {
+            return Err(SchedError::InfeasibleRequest { min_ii: lower, max_ii: upper });
+        }
+        let groups = ComplexGroups::new(ddg, machine);
+        let fallback = topo_leader_order(ddg, &groups);
+        let mut tried = 0u32;
+        for ii in lower..=upper {
+            tried += 1;
+            let Some(analysis) = TimeAnalysis::new(ddg, machine, ii) else {
+                continue;
+            };
+            let order = ordering(ddg, machine, &analysis, &groups);
+            if let Some(starts) =
+                place_order(ddg, machine, ii, &order, &groups, &analysis, PlaceMode::Hrms)
+            {
+                return Ok(Schedule::with_provenance(ii, starts, "hrms", tried));
+            }
+            // The greedy bidirectional placement can paint itself into a
+            // corner on graphs whose acyclic part straddles the recurrences.
+            // A forward topological order with ASAP-clamped placement cannot
+            // drift and converges as II grows; try it before giving up on
+            // this II so the search degrades gracefully instead of failing.
+            if let Some(starts) = place_order(
+                ddg,
+                machine,
+                ii,
+                &fallback,
+                &groups,
+                &analysis,
+                PlaceMode::AsapClamped,
+            ) {
+                return Ok(Schedule::with_provenance(ii, starts, "hrms", tried));
+            }
+        }
+        Err(SchedError::NoScheduleUpTo { max_ii: upper })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Ordering phase
+// ----------------------------------------------------------------------
+
+/// A super-graph over complex groups: adjacency between group indices.
+struct SuperGraph {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl SuperGraph {
+    fn new(ddg: &Ddg, groups: &ComplexGroups) -> Self {
+        let g = groups.len();
+        let mut succs = vec![Vec::new(); g];
+        let mut preds = vec![Vec::new(); g];
+        for e in ddg.edges() {
+            let gf = groups.group_of(e.from());
+            let gt = groups.group_of(e.to());
+            if gf != gt {
+                if !succs[gf].contains(&gt) {
+                    succs[gf].push(gt);
+                }
+                if !preds[gt].contains(&gf) {
+                    preds[gt].push(gf);
+                }
+            }
+        }
+        SuperGraph { succs, preds }
+    }
+
+    /// Tarjan SCCs over the super graph, in reverse topological order.
+    fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.succs.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![usize::MAX; n];
+        let mut on = vec![false; n];
+        let mut stack = Vec::new();
+        let mut next = 0usize;
+        let mut out = Vec::new();
+        let mut work: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            work.push((root, 0));
+            index[root] = next;
+            low[root] = next;
+            next += 1;
+            stack.push(root);
+            on[root] = true;
+            while let Some(&mut (v, ref mut cur)) = work.last_mut() {
+                if *cur < self.succs[v].len() {
+                    let w = self.succs[v][*cur];
+                    *cur += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next;
+                        low[w] = next;
+                        next += 1;
+                        stack.push(w);
+                        on[w] = true;
+                        work.push((w, 0));
+                    } else if on[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&(p, _)) = work.last() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan underflow");
+                            on[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn forward_reach(&self, from: &[usize]) -> Vec<bool> {
+        bfs(&self.succs, from)
+    }
+
+    fn backward_reach(&self, from: &[usize]) -> Vec<bool> {
+        bfs(&self.preds, from)
+    }
+}
+
+fn bfs(adj: &[Vec<usize>], from: &[usize]) -> Vec<bool> {
+    let mut seen = vec![false; adj.len()];
+    let mut queue: Vec<usize> = Vec::new();
+    for &f in from {
+        if !seen[f] {
+            seen[f] = true;
+            queue.push(f);
+        }
+    }
+    while let Some(v) = queue.pop() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                queue.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Recurrence bound of a node subset: smallest II with no positive cycle in
+/// the induced subgraph.
+fn subset_rec_bound(ddg: &Ddg, machine: &MachineConfig, members: &[OpId]) -> u32 {
+    let k = members.len();
+    if k == 0 {
+        return 1;
+    }
+    let mut pos = vec![usize::MAX; ddg.num_ops()];
+    for (i, m) in members.iter().enumerate() {
+        pos[m.index()] = i;
+    }
+    let edges: Vec<(usize, usize, i64, i64)> = ddg
+        .edges()
+        .filter(|e| pos[e.from().index()] != usize::MAX && pos[e.to().index()] != usize::MAX)
+        .map(|e| {
+            (
+                pos[e.from().index()],
+                pos[e.to().index()],
+                edge_latency(machine, ddg, e),
+                i64::from(e.distance()),
+            )
+        })
+        .collect();
+    let hi_bound: i64 = edges.iter().map(|&(_, _, l, _)| l.max(0)).sum::<i64>().max(1);
+    let feasible = |ii: i64| -> bool {
+        let mut dist = vec![NEG_INF; k * k];
+        for &(f, t, l, d) in &edges {
+            let w = l - ii * d;
+            if w > dist[f * k + t] {
+                dist[f * k + t] = w;
+            }
+        }
+        for m in 0..k {
+            for i in 0..k {
+                let dim = dist[i * k + m];
+                if dim == NEG_INF {
+                    continue;
+                }
+                for j in 0..k {
+                    let dmj = dist[m * k + j];
+                    if dmj == NEG_INF {
+                        continue;
+                    }
+                    if dim + dmj > dist[i * k + j] {
+                        dist[i * k + j] = dim + dmj;
+                    }
+                }
+                if dist[i * k + i] > 0 {
+                    return false;
+                }
+            }
+        }
+        (0..k).all(|i| dist[i * k + i] <= 0)
+    };
+    let (mut lo, mut hi) = (1i64, hi_bound);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    u32::try_from(lo).unwrap_or(u32::MAX)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Direction {
+    TopDown,
+    BottomUp,
+}
+
+/// Produces the scheduling order as a list of group leaders.
+fn ordering(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    analysis: &TimeAnalysis,
+    groups: &ComplexGroups,
+) -> Vec<OpId> {
+    let sg = SuperGraph::new(ddg, groups);
+    let g = groups.len();
+
+    // Group-level priorities.
+    let mut g_asap = vec![i64::MAX; g];
+    let mut g_alap = vec![NEG_INF; g];
+    let mut g_mob = vec![i64::MAX; g];
+    for gi in 0..g {
+        for &m in groups.members_of(groups.leader(gi)) {
+            g_asap[gi] = g_asap[gi].min(analysis.asap(m) - groups.offset(m));
+            g_alap[gi] = g_alap[gi].max(analysis.alap(m) - groups.offset(m));
+            g_mob[gi] = g_mob[gi].min(analysis.mobility(m));
+        }
+    }
+    let horizon: i64 = (0..g).map(|gi| g_alap[gi]).max().unwrap_or(0);
+
+    // Priority sets: recurrences sorted by decreasing RecMII bound, each
+    // augmented with the nodes on paths to/from previously chosen sets;
+    // one final set with everything else.
+    let sccs = sg.sccs();
+    let mut rec_sets: Vec<(u32, Vec<usize>)> = Vec::new();
+    for comp in &sccs {
+        let cyclic = comp.len() > 1
+            || sg.succs[comp[0]].contains(&comp[0]);
+        if cyclic {
+            let members: Vec<OpId> = comp
+                .iter()
+                .flat_map(|&gi| groups.members_of(groups.leader(gi)).iter().copied())
+                .collect();
+            let bound = subset_rec_bound(ddg, machine, &members);
+            rec_sets.push((bound, comp.clone()));
+        }
+    }
+    rec_sets.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+
+    let mut chosen = vec![false; g];
+    let mut sets: Vec<Vec<usize>> = Vec::new();
+    let mut chosen_list: Vec<usize> = Vec::new();
+    for (_, comp) in &rec_sets {
+        let mut set: Vec<usize> = comp.iter().copied().filter(|&x| !chosen[x]).collect();
+        if !chosen_list.is_empty() && !set.is_empty() {
+            // Path nodes between previously chosen sets and this recurrence.
+            let fwd_from_chosen = sg.forward_reach(&chosen_list);
+            let back_to_comp = sg.backward_reach(comp);
+            let fwd_from_comp = sg.forward_reach(comp);
+            let back_to_chosen = sg.backward_reach(&chosen_list);
+            for v in 0..g {
+                if chosen[v] || set.contains(&v) {
+                    continue;
+                }
+                let on_path = (fwd_from_chosen[v] && back_to_comp[v])
+                    || (fwd_from_comp[v] && back_to_chosen[v]);
+                if on_path {
+                    set.push(v);
+                }
+            }
+        }
+        if !set.is_empty() {
+            for &v in &set {
+                chosen[v] = true;
+                chosen_list.push(v);
+            }
+            sets.push(set);
+        }
+    }
+    let rest: Vec<usize> = (0..g).filter(|&v| !chosen[v]).collect();
+    if !rest.is_empty() {
+        sets.push(rest);
+    }
+
+    // Alternating-direction inner ordering.
+    let mut order: Vec<usize> = Vec::with_capacity(g);
+    let mut ordered = vec![false; g];
+    for set in &sets {
+        let mut remaining: BTreeSet<usize> = set.iter().copied().collect();
+        while !remaining.is_empty() {
+            let td: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&v| sg.preds[v].iter().any(|&p| ordered[p]))
+                .collect();
+            let bu: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&v| sg.succs[v].iter().any(|&s| ordered[s]))
+                .collect();
+            let (mut frontier, dir): (BTreeSet<usize>, Direction) =
+                if !td.is_empty() && bu.is_empty() {
+                    (td.into_iter().collect(), Direction::TopDown)
+                } else if !bu.is_empty() && td.is_empty() {
+                    (bu.into_iter().collect(), Direction::BottomUp)
+                } else if td.is_empty() && bu.is_empty() {
+                    // Fresh start: most critical (min mobility), earliest.
+                    let seed = remaining
+                        .iter()
+                        .copied()
+                        .min_by_key(|&v| (g_mob[v], g_asap[v], v))
+                        .expect("non-empty");
+                    ([seed].into_iter().collect(), Direction::TopDown)
+                } else {
+                    (td.into_iter().collect(), Direction::TopDown)
+                };
+            while let Some(v) =
+                pick(&frontier, &remaining, &sg, dir, &g_asap, &g_alap, &g_mob, horizon)
+            {
+                frontier.remove(&v);
+                if !remaining.remove(&v) {
+                    continue;
+                }
+                ordered[v] = true;
+                order.push(v);
+                let next = match dir {
+                    Direction::TopDown => &sg.succs[v],
+                    Direction::BottomUp => &sg.preds[v],
+                };
+                for &w in next {
+                    if remaining.contains(&w) {
+                        frontier.insert(w);
+                    }
+                }
+            }
+        }
+    }
+    order.into_iter().map(|gi| groups.leader(gi)).collect()
+}
+
+/// Picks the next group from the frontier.
+///
+/// Groups that are *ready* — all their same-set predecessors (top-down) or
+/// successors (bottom-up) already ordered — are strongly preferred: ordering
+/// an ancestor before its in-set descendant in a bottom-up sweep (or vice
+/// versa) can anchor the two against different neighbours and leave the
+/// in-between node an unsatisfiable window at every II. Ties fall back to
+/// criticality, then mobility, then index.
+#[allow(clippy::too_many_arguments)]
+fn pick(
+    frontier: &BTreeSet<usize>,
+    remaining: &BTreeSet<usize>,
+    sg: &SuperGraph,
+    dir: Direction,
+    g_asap: &[i64],
+    g_alap: &[i64],
+    g_mob: &[i64],
+    horizon: i64,
+) -> Option<usize> {
+    frontier.iter().copied().min_by_key(|&v| {
+        let blocked_by = match dir {
+            Direction::TopDown => &sg.preds[v],
+            Direction::BottomUp => &sg.succs[v],
+        };
+        let not_ready = blocked_by.iter().any(|w| remaining.contains(w) && *w != v);
+        let criticality = match dir {
+            // Top-down: prefer the node with the longest path below it.
+            Direction::TopDown => -(horizon - g_alap[v]),
+            // Bottom-up: prefer the node with the longest path above it.
+            Direction::BottomUp => -g_asap[v],
+        };
+        (not_ready, criticality, g_mob[v], v)
+    })
+}
+
+/// Group leaders in a forward topological order of the zero-distance edge
+/// DAG; each group is placed at the position of its *last* member so all
+/// free intra-iteration predecessors of every member come first.
+pub(crate) fn topo_leader_order(ddg: &Ddg, groups: &ComplexGroups) -> Vec<OpId> {
+    let node_order = regpipe_ddg::algo::topo_order_ignoring_back_edges(ddg);
+    let mut position = vec![0usize; ddg.num_ops()];
+    for (i, v) in node_order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    let mut group_pos: Vec<(usize, usize)> = (0..groups.len())
+        .map(|gi| {
+            let last = groups
+                .members_of(groups.leader(gi))
+                .iter()
+                .map(|m| position[m.index()])
+                .max()
+                .expect("groups are non-empty");
+            (last, gi)
+        })
+        .collect();
+    group_pos.sort_unstable();
+    group_pos.into_iter().map(|(_, gi)| groups.leader(gi)).collect()
+}
+
+// ----------------------------------------------------------------------
+// Placement phase (shared with the ASAP baseline)
+// ----------------------------------------------------------------------
+
+/// Placement policy for [`place_order`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum PlaceMode {
+    /// HRMS: operations hug their scheduled neighbours — upward scans from
+    /// the earliest start when predecessors anchor them, downward scans from
+    /// the latest start when successors do. Minimizes lifetimes but can
+    /// wedge on graphs whose acyclic part straddles several recurrences.
+    Hrms,
+    /// ASAP with a dataflow clamp: every scan runs upward and never starts
+    /// below the operation's ASAP level, so placements cannot drift
+    /// unboundedly negative. Register-insensitive, but guaranteed to
+    /// converge as II grows (placing everything at its ASAP fixpoint is
+    /// dependence-feasible, and resource conflicts vanish at large II).
+    AsapClamped,
+}
+
+/// Places groups following `order`; returns per-op start cycles or `None`
+/// if some group cannot be placed at this II.
+pub(crate) fn place_order(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: u32,
+    order: &[OpId],
+    groups: &ComplexGroups,
+    analysis: &TimeAnalysis,
+    mode: PlaceMode,
+) -> Option<Vec<i64>> {
+    let n = ddg.num_ops();
+    let ii64 = i64::from(ii);
+    let mut start: Vec<Option<i64>> = vec![None; n];
+    let mut mrt = Mrt::new(machine, ii);
+
+    // Pre-check: free edges internal to a group must be consistent with the
+    // bond offsets at this II.
+    for e in ddg.edges() {
+        if e.is_fixed() {
+            continue;
+        }
+        if groups.group_of(e.from()) == groups.group_of(e.to()) {
+            let sep = groups.offset(e.to()) - groups.offset(e.from());
+            let need = edge_latency(machine, ddg, e) - ii64 * i64::from(e.distance());
+            if sep < need {
+                return None;
+            }
+        }
+    }
+
+    for &leader in order {
+        let members = groups.members_of(leader);
+        debug_assert_eq!(groups.offset(leader), 0);
+
+        // Window from scheduled neighbours, expressed on the leader's time.
+        let mut early: Option<i64> = None;
+        let mut late: Option<i64> = None;
+        for &m in members {
+            let m_off = groups.offset(m);
+            for e in ddg.in_edges(m) {
+                if groups.group_of(e.from()) == groups.group_of(m) {
+                    continue;
+                }
+                if let Some(tp) = start[e.from().index()] {
+                    let c = tp + edge_latency(machine, ddg, e)
+                        - ii64 * i64::from(e.distance())
+                        - m_off;
+                    early = Some(early.map_or(c, |x: i64| x.max(c)));
+                }
+            }
+            for e in ddg.out_edges(m) {
+                if groups.group_of(e.to()) == groups.group_of(m) {
+                    continue;
+                }
+                if let Some(ts) = start[e.to().index()] {
+                    let c = ts - edge_latency(machine, ddg, e)
+                        + ii64 * i64::from(e.distance())
+                        - m_off;
+                    late = Some(late.map_or(c, |x: i64| x.min(c)));
+                }
+            }
+        }
+
+        // The group's ASAP level on the leader's clock.
+        let g_asap = members
+            .iter()
+            .map(|&m| analysis.asap(m) - groups.offset(m))
+            .max()
+            .expect("groups are non-empty");
+
+        // Candidate slots, at most II of them.
+        let candidates: Vec<i64> = match (early, late) {
+            (Some(e), Some(l)) => {
+                if l < e {
+                    return None;
+                }
+                let lo = match mode {
+                    PlaceMode::Hrms => e,
+                    // Clamp toward the dataflow level when the window allows.
+                    PlaceMode::AsapClamped => {
+                        if e.max(g_asap) <= l {
+                            e.max(g_asap)
+                        } else {
+                            e
+                        }
+                    }
+                };
+                (lo..=l.min(lo + ii64 - 1)).collect()
+            }
+            (Some(e), None) => {
+                let lo = match mode {
+                    PlaceMode::Hrms => e,
+                    PlaceMode::AsapClamped => e.max(g_asap),
+                };
+                (lo..lo + ii64).collect()
+            }
+            (None, Some(l)) => match mode {
+                // Scan downward: place as late as possible, next to the
+                // already-scheduled consumers.
+                PlaceMode::Hrms => (0..ii64).map(|k| l - k).collect(),
+                PlaceMode::AsapClamped => {
+                    if l < g_asap {
+                        return None;
+                    }
+                    (g_asap..=l.min(g_asap + ii64 - 1)).collect()
+                }
+            },
+            (None, None) => (g_asap..g_asap + ii64).collect(),
+        };
+
+        let mut placed_at: Option<i64> = None;
+        'slots: for t in candidates {
+            // Transactionally place all members.
+            let mut done: Vec<(regpipe_ddg::OpKind, i64)> = Vec::new();
+            for &m in members {
+                let kind = ddg.op(m).kind();
+                let cycle = t + groups.offset(m);
+                if mrt.try_place(kind, cycle) {
+                    done.push((kind, cycle));
+                } else {
+                    for (k, c) in done.drain(..) {
+                        mrt.remove(k, c);
+                    }
+                    continue 'slots;
+                }
+            }
+            placed_at = Some(t);
+            break;
+        }
+        let t = placed_at?;
+        for &m in members {
+            start[m.index()] = Some(t + groups.offset(m));
+        }
+    }
+    Some(start.into_iter().map(|t| t.expect("all ops ordered")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regpipe_ddg::DdgBuilder;
+    use regpipe_ddg::OpKind;
+
+    fn schedule_ok(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
+        let s = HrmsScheduler::new()
+            .schedule(ddg, machine, &SchedRequest::default())
+            .expect("schedulable");
+        s.verify(ddg, machine).expect("valid");
+        s
+    }
+
+    #[test]
+    fn single_op_loop() {
+        let mut b = DdgBuilder::new("one");
+        b.add_op(OpKind::Add, "a");
+        let g = b.build().unwrap();
+        let s = schedule_ok(&g, &MachineConfig::p1l4());
+        assert_eq!(s.ii(), 1);
+    }
+
+    #[test]
+    fn paper_example_achieves_ii_1_on_uniform_machine() {
+        // Figure 2: x(i) = y(i)*a + y(i-3); 4 units, latency 2 -> II = 1.
+        let mut b = DdgBuilder::new("fig2");
+        let ld = b.add_op(OpKind::Load, "Ld");
+        let mul = b.add_op(OpKind::Mul, "*");
+        let add = b.add_op(OpKind::Add, "+");
+        let st = b.add_op(OpKind::Store, "St");
+        b.reg(ld, mul);
+        b.reg_dist(ld, add, 3);
+        b.reg(mul, add);
+        b.reg(add, st);
+        let g = b.build().unwrap();
+        let m = MachineConfig::uniform(4, 2);
+        let s = schedule_ok(&g, &m);
+        assert_eq!(s.ii(), 1, "resource bound: 4 ops / 4 units");
+    }
+
+    #[test]
+    fn recurrence_constrains_ii() {
+        let mut b = DdgBuilder::new("rec");
+        let a = b.add_op(OpKind::Add, "a");
+        let c = b.add_op(OpKind::Add, "c");
+        b.reg(a, c);
+        b.reg_dist(c, a, 1);
+        let g = b.build().unwrap();
+        let m = MachineConfig::p2l4();
+        let s = schedule_ok(&g, &m);
+        assert_eq!(s.ii(), 8);
+    }
+
+    #[test]
+    fn saturated_memory_unit() {
+        let mut b = DdgBuilder::new("mem");
+        let l1 = b.add_op(OpKind::Load, "l1");
+        let l2 = b.add_op(OpKind::Load, "l2");
+        let a = b.add_op(OpKind::Add, "a");
+        let st = b.add_op(OpKind::Store, "st");
+        b.reg(l1, a);
+        b.reg(l2, a);
+        b.reg(a, st);
+        let g = b.build().unwrap();
+        let s = schedule_ok(&g, &MachineConfig::p1l4());
+        assert_eq!(s.ii(), 3, "3 memory ops on one unit");
+    }
+
+    #[test]
+    fn bonded_pair_scheduled_atomically() {
+        let mut b = DdgBuilder::new("bond");
+        let p = b.add_op(OpKind::Add, "p");
+        let s = b.add_op(OpKind::Store, "s");
+        b.bond(p, s);
+        let l = b.add_op(OpKind::Load, "l");
+        let c = b.add_op(OpKind::Mul, "c");
+        b.bond(l, c);
+        b.mem(s, l, 1);
+        let g = b.build().unwrap();
+        let m = MachineConfig::p1l4();
+        let sched = schedule_ok(&g, &m);
+        assert_eq!(sched.start(s) - sched.start(p), 4);
+        assert_eq!(sched.start(c) - sched.start(l), 2);
+    }
+
+    #[test]
+    fn divider_heavy_loop() {
+        let mut b = DdgBuilder::new("div");
+        let l = b.add_op(OpKind::Load, "l");
+        let d = b.add_op(OpKind::Div, "d");
+        let st = b.add_op(OpKind::Store, "st");
+        b.reg(l, d);
+        b.reg(d, st);
+        let g = b.build().unwrap();
+        let s = schedule_ok(&g, &MachineConfig::p1l4());
+        assert_eq!(s.ii(), 17, "non-pipelined divide dominates");
+        let s2 = schedule_ok(&g, &MachineConfig::p2l4());
+        assert_eq!(s2.ii(), 9, "two div units halve the bound");
+    }
+
+    #[test]
+    fn honours_min_ii_request() {
+        let mut b = DdgBuilder::new("m");
+        b.add_op(OpKind::Add, "a");
+        let g = b.build().unwrap();
+        let m = MachineConfig::p1l4();
+        let s = HrmsScheduler::new()
+            .schedule(&g, &m, &SchedRequest::starting_at(5))
+            .unwrap();
+        assert_eq!(s.ii(), 5);
+    }
+
+    #[test]
+    fn empty_ii_range_is_an_error() {
+        let mut b = DdgBuilder::new("m");
+        let a = b.add_op(OpKind::Add, "a");
+        let c = b.add_op(OpKind::Add, "c");
+        b.reg(a, c);
+        b.reg_dist(c, a, 1); // MII 8
+        let g = b.build().unwrap();
+        let m = MachineConfig::p1l4();
+        let err = HrmsScheduler::new()
+            .schedule(&g, &m, &SchedRequest { min_ii: None, max_ii: Some(3) })
+            .unwrap_err();
+        assert!(matches!(err, SchedError::InfeasibleRequest { .. }));
+    }
+
+    #[test]
+    fn wide_independent_ops_fill_slots() {
+        // 8 independent adds on 2 adders: II = 4, all slots used.
+        let mut b = DdgBuilder::new("wide");
+        for i in 0..8 {
+            b.add_op(OpKind::Add, format!("a{i}"));
+        }
+        let g = b.build().unwrap();
+        let s = schedule_ok(&g, &MachineConfig::p2l4());
+        assert_eq!(s.ii(), 4);
+    }
+
+    #[test]
+    fn stress_random_graphs_schedule_and_verify() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let machines =
+            [MachineConfig::p1l4(), MachineConfig::p2l4(), MachineConfig::p2l6()];
+        for case in 0..150 {
+            let n = rng.random_range(2..24usize);
+            let mut b = DdgBuilder::new(format!("s{case}"));
+            let kinds = [
+                OpKind::Load,
+                OpKind::Store,
+                OpKind::Add,
+                OpKind::Mul,
+                OpKind::Copy,
+                OpKind::Div,
+            ];
+            let ops: Vec<OpId> = (0..n)
+                .map(|i| b.add_op(kinds[rng.random_range(0..kinds.len())], format!("n{i}")))
+                .collect();
+            for _ in 0..rng.random_range(0..2 * n) {
+                let f = ops[rng.random_range(0..n)];
+                let t = ops[rng.random_range(0..n)];
+                if f == t {
+                    continue;
+                }
+                let dist =
+                    if t > f { rng.random_range(0..3u32) } else { rng.random_range(1..3u32) };
+                if b.clone().build_unchecked().op(f).kind() == OpKind::Store {
+                    b.mem(f, t, dist.max(if t > f { 0 } else { 1 }));
+                } else {
+                    b.reg_dist(f, t, dist);
+                }
+            }
+            let Ok(g) = b.build() else { continue };
+            let m = &machines[case % machines.len()];
+            let s = HrmsScheduler::new()
+                .schedule(&g, m, &SchedRequest::default())
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{g}"));
+            s.verify(&g, m).unwrap_or_else(|e| panic!("case {case}: {e}\n{g}\n{s}"));
+            assert!(s.ii() >= mii(&g, m));
+        }
+    }
+}

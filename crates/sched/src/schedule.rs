@@ -1,0 +1,367 @@
+//! Modulo schedules and their verification.
+
+use std::error::Error;
+use std::fmt;
+
+use regpipe_ddg::{Ddg, OpId};
+use regpipe_machine::{MachineConfig, Mrt};
+
+use crate::edge_latency;
+
+/// A modulo schedule: an initiation interval and a start cycle for every
+/// operation of one loop iteration.
+///
+/// Start cycles are normalized so the earliest operation starts at cycle 0.
+/// Repeating the same assignment every II cycles yields the steady state;
+/// the number of overlapped iterations is the stage count
+/// `SC = ⌊max start / II⌋ + 1` (paper Section 2.2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schedule {
+    ii: u32,
+    start: Vec<i64>,
+    scheduler: &'static str,
+    iis_tried: u32,
+}
+
+impl Schedule {
+    /// Wraps raw start cycles into a schedule, normalizing so the earliest
+    /// start is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0` or `start` is empty.
+    pub fn new(ii: u32, start: Vec<i64>) -> Self {
+        Self::with_provenance(ii, start, "manual", 1)
+    }
+
+    /// Like [`Schedule::new`] but recording which scheduler produced it and
+    /// how many candidate IIs were tried (for the paper's scheduling-time
+    /// accounting, Figure 8c).
+    pub fn with_provenance(
+        ii: u32,
+        mut start: Vec<i64>,
+        scheduler: &'static str,
+        iis_tried: u32,
+    ) -> Self {
+        assert!(ii > 0, "initiation interval must be positive");
+        assert!(!start.is_empty(), "schedule must cover at least one operation");
+        let min = *start.iter().min().expect("non-empty");
+        if min != 0 {
+            for t in &mut start {
+                *t -= min;
+            }
+        }
+        Schedule { ii, start, scheduler, iis_tried }
+    }
+
+    /// Builds a schedule from explicit `(op, cycle)` pairs — the golden-test
+    /// entry point for replaying the paper's hand schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pairs don't cover exactly the ops `0..n` once each.
+    pub fn from_fixed(ii: u32, assignments: &[(OpId, i64)]) -> Self {
+        let n = assignments.len();
+        let mut start = vec![i64::MIN; n];
+        for &(op, t) in assignments {
+            assert!(op.index() < n, "assignment out of range");
+            assert_eq!(start[op.index()], i64::MIN, "duplicate assignment for {op}");
+            start[op.index()] = t;
+        }
+        assert!(start.iter().all(|&t| t != i64::MIN), "missing assignment");
+        Schedule::new(ii, start)
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Number of scheduled operations.
+    pub fn num_ops(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Start cycle of `op` (≥ 0 after normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of bounds.
+    pub fn start(&self, op: OpId) -> i64 {
+        self.start[op.index()]
+    }
+
+    /// All start cycles, indexed by operation.
+    pub fn starts(&self) -> &[i64] {
+        &self.start
+    }
+
+    /// The latest start cycle.
+    pub fn last_start(&self) -> i64 {
+        *self.start.iter().max().expect("non-empty")
+    }
+
+    /// Stage count: number of concurrently overlapped iterations.
+    pub fn stage_count(&self) -> u32 {
+        (self.last_start() / i64::from(self.ii) + 1) as u32
+    }
+
+    /// The stage of `op` within the kernel.
+    pub fn stage(&self, op: OpId) -> u32 {
+        (self.start(op) / i64::from(self.ii)) as u32
+    }
+
+    /// Name of the scheduler that produced this schedule.
+    pub fn scheduler(&self) -> &'static str {
+        self.scheduler
+    }
+
+    /// How many candidate IIs the producing scheduler tried (≥ 1).
+    pub fn iis_tried(&self) -> u32 {
+        self.iis_tried
+    }
+
+    /// Checks the schedule against dependences, bonds and resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint; see [`VerifyError`].
+    pub fn verify(&self, ddg: &Ddg, machine: &MachineConfig) -> Result<(), VerifyError> {
+        if ddg.num_ops() != self.start.len() {
+            return Err(VerifyError::WrongLength {
+                ops: ddg.num_ops(),
+                scheduled: self.start.len(),
+            });
+        }
+        let ii = i64::from(self.ii);
+        for e in ddg.edges() {
+            let tf = self.start(e.from());
+            let tt = self.start(e.to());
+            let lat = edge_latency(machine, ddg, e);
+            let sep = tt - tf;
+            let need = lat - ii * i64::from(e.distance());
+            if e.is_fixed() {
+                let expected = lat + i64::from(e.stagger());
+                if sep != expected {
+                    return Err(VerifyError::BondViolated {
+                        from: e.from(),
+                        to: e.to(),
+                        expected,
+                        actual: sep,
+                    });
+                }
+            } else if sep < need {
+                return Err(VerifyError::DependenceViolated {
+                    from: e.from(),
+                    to: e.to(),
+                    required: need,
+                    actual: sep,
+                });
+            }
+        }
+        let mut mrt = Mrt::new(machine, self.ii);
+        for (id, node) in ddg.ops() {
+            if !mrt.try_place(node.kind(), self.start(id)) {
+                return Err(VerifyError::ResourceOverflow {
+                    op: id,
+                    cycle: self.start(id).rem_euclid(ii),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule(II={}, SC={}, span={}, by {})",
+            self.ii,
+            self.stage_count(),
+            self.last_start(),
+            self.scheduler
+        )
+    }
+}
+
+/// A violated schedule constraint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// The schedule covers a different number of operations than the graph.
+    WrongLength {
+        /// Operations in the graph.
+        ops: usize,
+        /// Operations in the schedule.
+        scheduled: usize,
+    },
+    /// A dependence edge's minimum separation is not met.
+    DependenceViolated {
+        /// Edge source.
+        from: OpId,
+        /// Edge target.
+        to: OpId,
+        /// Required `t(to) − t(from)`.
+        required: i64,
+        /// Actual separation.
+        actual: i64,
+    },
+    /// A fixed (bonded) edge is not at its exact offset.
+    BondViolated {
+        /// Edge source.
+        from: OpId,
+        /// Edge target.
+        to: OpId,
+        /// Required exact separation.
+        expected: i64,
+        /// Actual separation.
+        actual: i64,
+    },
+    /// A functional-unit class is over-subscribed at a modulo cycle.
+    ResourceOverflow {
+        /// The operation that did not fit.
+        op: OpId,
+        /// The modulo cycle where the class overflows.
+        cycle: i64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::WrongLength { ops, scheduled } => {
+                write!(f, "schedule covers {scheduled} ops but graph has {ops}")
+            }
+            VerifyError::DependenceViolated { from, to, required, actual } => write!(
+                f,
+                "dependence {from} -> {to} needs separation >= {required}, got {actual}"
+            ),
+            VerifyError::BondViolated { from, to, expected, actual } => write!(
+                f,
+                "bond {from} -> {to} needs separation == {expected}, got {actual}"
+            ),
+            VerifyError::ResourceOverflow { op, cycle } => {
+                write!(f, "resources over-subscribed by {op} at modulo cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regpipe_ddg::{DdgBuilder, OpKind};
+
+    fn chain() -> Ddg {
+        let mut b = DdgBuilder::new("c");
+        let l = b.add_op(OpKind::Load, "l");
+        let m = b.add_op(OpKind::Mul, "m");
+        let s = b.add_op(OpKind::Store, "s");
+        b.reg(l, m);
+        b.reg(m, s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn normalization_shifts_to_zero() {
+        let s = Schedule::new(2, vec![5, 7, 11]);
+        assert_eq!(s.starts(), &[0, 2, 6]);
+        assert_eq!(s.last_start(), 6);
+        assert_eq!(s.stage_count(), 4);
+        assert_eq!(s.stage(OpId::new(2)), 3);
+    }
+
+    #[test]
+    fn valid_chain_schedule_verifies() {
+        let g = chain();
+        let m = MachineConfig::p1l4();
+        // l@0 (lat 2), m@2 (lat 4), s@7 (6 would share the memory unit's
+        // modulo cycle with the load at II = 3).
+        let s = Schedule::new(3, vec![0, 2, 7]);
+        assert_eq!(s.verify(&g, &m), Ok(()));
+    }
+
+    #[test]
+    fn dependence_violation_detected() {
+        let g = chain();
+        let m = MachineConfig::p1l4();
+        let s = Schedule::new(3, vec![0, 1, 6]); // mul 1 cycle after load
+        assert!(matches!(
+            s.verify(&g, &m),
+            Err(VerifyError::DependenceViolated { required: 2, actual: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn loop_carried_slack_is_honoured() {
+        let mut b = DdgBuilder::new("lc");
+        let a = b.add_op(OpKind::Add, "a");
+        let c = b.add_op(OpKind::Add, "c");
+        b.reg(a, c);
+        b.reg_dist(c, a, 1);
+        let g = b.build().unwrap();
+        let m = MachineConfig::p1l4();
+        // II = 8: c@4, a@0; back edge needs t(a) - t(c) >= 4 - 8 = -4. OK.
+        assert_eq!(Schedule::new(8, vec![0, 4]).verify(&g, &m), Ok(()));
+        // II = 7: back edge needs >= -3 but separation is -4.
+        assert!(Schedule::new(7, vec![0, 4]).verify(&g, &m).is_err());
+    }
+
+    #[test]
+    fn resource_overflow_detected() {
+        let mut b = DdgBuilder::new("mem");
+        b.add_op(OpKind::Load, "l1");
+        b.add_op(OpKind::Load, "l2");
+        let g = b.build().unwrap();
+        let m = MachineConfig::p1l4();
+        let bad = Schedule::new(2, vec![0, 2]); // both at modulo cycle 0
+        assert!(matches!(bad.verify(&g, &m), Err(VerifyError::ResourceOverflow { .. })));
+        let good = Schedule::new(2, vec![0, 1]);
+        assert_eq!(good.verify(&g, &m), Ok(()));
+    }
+
+    #[test]
+    fn bond_must_be_exact() {
+        let mut b = DdgBuilder::new("bond");
+        let p = b.add_op(OpKind::Add, "p"); // lat 4
+        let s = b.add_op(OpKind::Store, "s");
+        b.bond(p, s);
+        let g = b.build().unwrap();
+        let m = MachineConfig::p1l4();
+        assert_eq!(Schedule::new(1, vec![0, 4]).verify(&g, &m), Ok(()));
+        assert!(matches!(
+            Schedule::new(1, vec![0, 5]).verify(&g, &m),
+            Err(VerifyError::BondViolated { expected: 4, actual: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn from_fixed_accepts_permuted_assignments() {
+        let s = Schedule::from_fixed(2, &[(OpId::new(1), 4), (OpId::new(0), 0)]);
+        assert_eq!(s.start(OpId::new(1)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate assignment")]
+    fn from_fixed_rejects_duplicates() {
+        let _ = Schedule::from_fixed(2, &[(OpId::new(0), 0), (OpId::new(0), 1)]);
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let g = chain();
+        let m = MachineConfig::p1l4();
+        let s = Schedule::new(1, vec![0, 2]);
+        assert!(matches!(s.verify(&g, &m), Err(VerifyError::WrongLength { .. })));
+    }
+
+    #[test]
+    fn display_mentions_ii_and_stages() {
+        let s = Schedule::new(2, vec![0, 2, 6]);
+        let txt = s.to_string();
+        assert!(txt.contains("II=2"));
+        assert!(txt.contains("SC=4"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Compiling one real-shaped loop for every machine configuration and a
+//! range of register files — the compiler-writer's view of the paper:
+//! which strategy wins where, and what it costs.
+//!
+//! Run with `cargo run --example constrained_compile`.
+
+use regpipe::core::Strategy;
+use regpipe::loops::paper::{apsi47_like, apsi50_like};
+use regpipe::prelude::*;
+
+fn main() {
+    for (label, ddg) in
+        [("APSI-47-like (convergent)", apsi47_like()), ("APSI-50-like (floor-bound)", apsi50_like())]
+    {
+        println!("=== {label}: {} ops, {} invariants ===", ddg.num_ops(), ddg.num_invariants());
+        println!(
+            "{:<8} {:>6} {:>12} {:>6} {:>6} {:>8} {:>10}",
+            "machine", "regs", "strategy", "II", "used", "spills", "mem ops/it"
+        );
+        for machine in MachineConfig::paper_configs() {
+            for regs in [64, 32, 16] {
+                for strategy in [Strategy::IncreaseIi, Strategy::Spill, Strategy::BestOfAll] {
+                    let opts = CompileOptions { strategy, ..CompileOptions::default() };
+                    match compile(&ddg, &machine, regs, &opts) {
+                        Ok(c) => println!(
+                            "{:<8} {:>6} {:>12} {:>6} {:>6} {:>8} {:>10}",
+                            machine.name(),
+                            regs,
+                            format!("{strategy:?}"),
+                            c.ii(),
+                            c.registers_used(),
+                            c.spilled(),
+                            c.memory_ops()
+                        ),
+                        Err(e) => println!(
+                            "{:<8} {:>6} {:>12}   failed: {e}",
+                            machine.name(),
+                            regs,
+                            format!("{strategy:?}")
+                        ),
+                    }
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,203 @@
+//! The `regpipe` command-line tool: compile loop dependence graphs under a
+//! register budget from the terminal.
+//!
+//! ```text
+//! regpipe info <file.ddg>                      facts about a loop
+//! regpipe compile <file.ddg> [options]         schedule under a budget
+//! regpipe suite --size N [--seed S] [--dir D]  emit a synthetic corpus
+//!
+//! compile options:
+//!   --machine p1l4|p2l4|p2l6|uniform:<units>,<latency>   (default p2l4)
+//!   --regs <n>                                           (default 32)
+//!   --strategy best|spill|increase-ii                    (default best)
+//!   --heuristic lt|lt-traf                               (default lt-traf)
+//!   --emit kernel|pipeline|dot|text                      (default kernel)
+//! ```
+//!
+//! The input format is documented in `regpipe_ddg::textfmt`.
+
+use std::fs;
+use std::process::ExitCode;
+
+use regpipe::core::{compile, CompileOptions, Strategy};
+use regpipe::ddg::{textfmt, to_dot, Ddg};
+use regpipe::loops::suite;
+use regpipe::machine::MachineConfig;
+use regpipe::regalloc::allocate;
+use regpipe::sched::{mii, rec_mii, HrmsScheduler, PipelinedLoop, SchedRequest, Scheduler};
+use regpipe::spill::SelectHeuristic;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => cmd_info(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("usage: regpipe <info|compile|suite> ... (see --help in the crate docs)");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("regpipe: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Ddg, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    textfmt::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_machine(spec: &str) -> Result<MachineConfig, String> {
+    match spec {
+        "p1l4" => Ok(MachineConfig::p1l4()),
+        "p2l4" => Ok(MachineConfig::p2l4()),
+        "p2l6" => Ok(MachineConfig::p2l6()),
+        other => {
+            if let Some(rest) = other.strip_prefix("uniform:") {
+                let (units, lat) = rest
+                    .split_once(',')
+                    .ok_or_else(|| format!("bad uniform spec '{other}'"))?;
+                let units: u32 =
+                    units.parse().map_err(|_| format!("bad unit count '{units}'"))?;
+                let lat: u32 =
+                    lat.parse().map_err(|_| format!("bad latency '{lat}'"))?;
+                if units == 0 || lat == 0 {
+                    return Err("uniform machine needs positive units and latency".into());
+                }
+                Ok(MachineConfig::uniform(units, lat))
+            } else {
+                Err(format!("unknown machine '{other}'"))
+            }
+        }
+    }
+}
+
+/// Pulls `--key value` pairs from an argument list.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn positional(&self) -> Option<&'a str> {
+        self.args.first().filter(|a| !a.starts_with("--")).map(String::as_str)
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let path = flags.positional().ok_or("info: missing input file")?;
+    let g = load(path)?;
+    let machine = parse_machine(flags.get("--machine").unwrap_or("p2l4"))?;
+
+    println!("loop '{}': {} ops, {} edges, {} invariants", g.name(), g.num_ops(), g.num_edges(), g.num_invariants());
+    let hist = g.kind_histogram();
+    let labels = ["load", "store", "add", "mul", "div", "sqrt", "copy"];
+    let mix: Vec<String> = labels
+        .iter()
+        .zip(hist.iter())
+        .filter(|(_, &c)| c > 0)
+        .map(|(l, c)| format!("{c} {l}"))
+        .collect();
+    println!("op mix: {}", mix.join(", "));
+    println!("machine {}: ResMII-bound MII = {}, RecMII = {}", machine.name(), mii(&g, &machine), rec_mii(&g, &machine));
+    let recs = regpipe::ddg::algo::recurrences(&g);
+    println!("recurrences: {}", recs.len());
+    let s = HrmsScheduler::new()
+        .schedule(&g, &machine, &SchedRequest::default())
+        .map_err(|e| e.to_string())?;
+    let a = allocate(&g, &s);
+    println!(
+        "unconstrained schedule: II = {}, SC = {}, registers = {} (MaxLive {})",
+        s.ii(),
+        s.stage_count(),
+        a.total(),
+        a.max_live()
+    );
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let path = flags.positional().ok_or("compile: missing input file")?;
+    let g = load(path)?;
+    let machine = parse_machine(flags.get("--machine").unwrap_or("p2l4"))?;
+    let regs: u32 = flags
+        .get("--regs")
+        .unwrap_or("32")
+        .parse()
+        .map_err(|_| "bad --regs value".to_string())?;
+    let strategy = match flags.get("--strategy").unwrap_or("best") {
+        "best" => Strategy::BestOfAll,
+        "spill" => Strategy::Spill,
+        "increase-ii" => Strategy::IncreaseIi,
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    let heuristic = match flags.get("--heuristic").unwrap_or("lt-traf") {
+        "lt" => SelectHeuristic::MaxLt,
+        "lt-traf" => SelectHeuristic::MaxLtOverTraffic,
+        other => return Err(format!("unknown heuristic '{other}'")),
+    };
+    let mut options = CompileOptions { strategy, ..CompileOptions::default() };
+    options.spill.heuristic = heuristic;
+
+    let compiled = compile(&g, &machine, regs, &options).map_err(|e| e.to_string())?;
+    println!(
+        "{}: II = {} (MII {}), registers = {}/{}, spilled = {}, strategy = {:?}",
+        g.name(),
+        compiled.ii(),
+        mii(&g, &machine),
+        compiled.registers_used(),
+        regs,
+        compiled.spilled(),
+        compiled.strategy_used()
+    );
+    match flags.get("--emit").unwrap_or("kernel") {
+        "kernel" => println!("\n{}", compiled.kernel()),
+        "pipeline" => {
+            println!("\n{}", PipelinedLoop::new(compiled.ddg(), compiled.schedule()));
+        }
+        "dot" => println!("{}", to_dot(compiled.ddg())),
+        "text" => println!("{}", textfmt::format(compiled.ddg())),
+        other => return Err(format!("unknown emit mode '{other}'")),
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let size: usize = flags
+        .get("--size")
+        .unwrap_or("100")
+        .parse()
+        .map_err(|_| "bad --size value".to_string())?;
+    let seed: u64 = flags
+        .get("--seed")
+        .unwrap_or("49626") // 0xC1DA
+        .parse()
+        .map_err(|_| "bad --seed value".to_string())?;
+    let dir = flags.get("--dir").unwrap_or("suite");
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let loops = suite(seed, size);
+    for l in &loops {
+        let path = format!("{dir}/{}.ddg", l.name);
+        let mut text = format!("# weight {}\n", l.weight);
+        text.push_str(&textfmt::format(&l.ddg));
+        fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    println!("wrote {} loops to {dir}/", loops.len());
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # regpipe — register-constrained software pipelining
+//!
+//! Facade crate re-exporting the whole `regpipe` workspace: a from-scratch
+//! reproduction of Llosa, Valero & Ayguadé, *"Heuristics for
+//! Register-Constrained Software Pipelining"* (MICRO 1996).
+//!
+//! The pipeline, bottom-up:
+//!
+//! * [`ddg`] — loop data-dependence graphs (operations, distances, invariants).
+//! * [`machine`] — VLIW machine models (the paper's P1L4/P2L4/P2L6) and the
+//!   modulo reservation table.
+//! * [`sched`] — MII computation and modulo schedulers (register-sensitive
+//!   HRMS and a register-insensitive ASAP baseline).
+//! * [`regalloc`] — cyclic lifetimes, MaxLive, rotating-file and
+//!   modulo-variable-expansion register allocation.
+//! * [`spill`] — spill-code insertion into the dependence graph with the
+//!   paper's redundancy optimizations and convergence safeguards.
+//! * [`core`] — the register-constrained drivers: increase-II, iterative
+//!   spilling (with the Max(LT) / Max(LT/Traf) heuristics and the two
+//!   scheduling-time accelerations), and their "best of all" combination.
+//! * [`loops`] — the synthetic benchmark suite standing in for the paper's
+//!   1258 Perfect Club loops, plus replicas of the paper's named loops.
+//!
+//! # Quickstart
+//!
+//! Compile the paper's running example (`x(i) = y(i)*a + y(i-3)`) for a
+//! machine with 2 FUs of each kind and only 8 registers:
+//!
+//! ```
+//! use regpipe::prelude::*;
+//!
+//! let ddg = regpipe::loops::paper::example_loop();
+//! let machine = MachineConfig::p2l4();
+//! let compiled = compile(&ddg, &machine, 8, &CompileOptions::default())?;
+//! assert!(compiled.registers_used() <= 8);
+//! # Ok::<(), regpipe::core::CompileError>(())
+//! ```
+
+pub use regpipe_core as core;
+pub use regpipe_ddg as ddg;
+pub use regpipe_loops as loops;
+pub use regpipe_machine as machine;
+pub use regpipe_regalloc as regalloc;
+pub use regpipe_sched as sched;
+pub use regpipe_spill as spill;
+
+/// Convenience re-exports for the common workflow.
+pub mod prelude {
+    pub use regpipe_core::{
+        compile, BestOfAllDriver, CompileOptions, CompiledLoop, IncreaseIiDriver,
+        SpillDriver, SpillDriverOptions, Strategy,
+    };
+    pub use regpipe_ddg::{Ddg, DdgBuilder, EdgeKind, OpId, OpKind};
+    pub use regpipe_machine::MachineConfig;
+    pub use regpipe_regalloc::{allocate, LifetimeAnalysis};
+    pub use regpipe_sched::{mii, HrmsScheduler, Schedule, Scheduler};
+    pub use regpipe_spill::SelectHeuristic;
+}

@@ -1,0 +1,146 @@
+//! End-to-end integration across all crates: suite loops through every
+//! strategy on every machine, with full verification of the results.
+
+use regpipe::core::{
+    BestOfAllDriver, IncreaseIiDriver, SpillDriver, SpillDriverOptions, Strategy,
+};
+use regpipe::loops::{paper, suite};
+use regpipe::prelude::*;
+use regpipe::regalloc::LifetimeAnalysis;
+use regpipe::sched::{AsapScheduler, SchedRequest};
+use regpipe::spill::SelectHeuristic;
+
+#[test]
+fn whole_suite_compiles_under_32_registers_on_every_machine() {
+    let loops = suite(101, 60);
+    for machine in MachineConfig::paper_configs() {
+        for l in &loops {
+            let c = compile(&l.ddg, &machine, 32, &CompileOptions::default())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", l.name, machine.name()));
+            assert!(c.registers_used() <= 32, "{} on {}", l.name, machine.name());
+            c.schedule().verify(c.ddg(), &machine).unwrap();
+            assert!(c.ii() >= mii(c.ddg(), &machine));
+        }
+    }
+}
+
+#[test]
+fn strategies_rank_consistently() {
+    // Where both succeed: best-of-all is at least as fast as spilling, and
+    // never slower than increase-II.
+    let loops = suite(77, 40);
+    let m = MachineConfig::p2l4();
+    for l in &loops {
+        let spill = compile(
+            &l.ddg,
+            &m,
+            32,
+            &CompileOptions { strategy: Strategy::Spill, ..CompileOptions::default() },
+        );
+        let both = compile(&l.ddg, &m, 32, &CompileOptions::default());
+        if let (Ok(s), Ok(b)) = (spill, both) {
+            assert!(b.ii() <= s.ii(), "{}: best {} vs spill {}", l.name, b.ii(), s.ii());
+        }
+        let ii_only = compile(
+            &l.ddg,
+            &m,
+            32,
+            &CompileOptions { strategy: Strategy::IncreaseIi, ..CompileOptions::default() },
+        );
+        if let (Ok(i), Ok(b)) =
+            (ii_only, compile(&l.ddg, &m, 32, &CompileOptions::default()))
+        {
+            assert!(b.ii() <= i.ii(), "{}: best {} vs increase-II {}", l.name, b.ii(), i.ii());
+        }
+    }
+}
+
+#[test]
+fn spill_framework_works_with_the_register_insensitive_scheduler() {
+    // "The techniques presented can also be used with other scheduling
+    // techniques": run the drivers over the ASAP baseline.
+    let g = paper::apsi50_like();
+    let m = MachineConfig::p2l4();
+    let driver =
+        SpillDriver::with_scheduler(AsapScheduler::new(), SpillDriverOptions::default());
+    let out = driver.run(&g, &m, 32).expect("spilling converges under ASAP too");
+    out.schedule.verify(&out.ddg, &m).unwrap();
+    assert!(out.allocation.total() <= 32);
+}
+
+#[test]
+fn register_insensitive_scheduling_needs_more_registers() {
+    // The motivation for HRMS: on high-pressure loops the ASAP baseline
+    // stretches lifetimes. Compare MaxLive over a small suite.
+    let loops = suite(303, 30);
+    let m = MachineConfig::p2l4();
+    let mut hrms_total = 0u64;
+    let mut asap_total = 0u64;
+    for l in &loops {
+        let h = HrmsScheduler::new().schedule(&l.ddg, &m, &SchedRequest::default()).unwrap();
+        let a = AsapScheduler::new().schedule(&l.ddg, &m, &SchedRequest::default()).unwrap();
+        // Compare at the same II to isolate placement effects.
+        if h.ii() == a.ii() {
+            hrms_total += u64::from(LifetimeAnalysis::new(&l.ddg, &h).max_live());
+            asap_total += u64::from(LifetimeAnalysis::new(&l.ddg, &a).max_live());
+        }
+    }
+    assert!(
+        hrms_total <= asap_total,
+        "register-sensitive placement must not lose on aggregate: {hrms_total} vs {asap_total}"
+    );
+}
+
+#[test]
+fn increase_ii_failures_are_exactly_the_floor_bound_loops() {
+    let m = MachineConfig::p2l4();
+    let driver = IncreaseIiDriver::new();
+    // The convergent paper loop fits, the floor-bound one does not.
+    assert!(driver.run(&paper::apsi47_like(), &m, 32).is_ok());
+    assert!(driver.run(&paper::apsi50_like(), &m, 32).is_err());
+    // With a file as large as the floor, it fits again.
+    assert!(driver.run(&paper::apsi50_like(), &m, 64).is_ok());
+}
+
+#[test]
+fn spilling_monotonically_extends_the_graph() {
+    let g = paper::apsi50_like();
+    let m = MachineConfig::p2l4();
+    let out = SpillDriver::new(SpillDriverOptions::unaccelerated(SelectHeuristic::MaxLt))
+        .run(&g, &m, 16)
+        .unwrap();
+    // Nodes are append-only; every original op survives the rewrites.
+    assert!(out.ddg.num_ops() >= g.num_ops());
+    for (id, node) in g.ops() {
+        assert_eq!(out.ddg.op(id).kind(), node.kind());
+        assert_eq!(out.ddg.op(id).name(), node.name());
+    }
+    // Traffic grows exactly by the added loads/stores.
+    assert!(out.ddg.memory_ops() > g.memory_ops());
+}
+
+#[test]
+fn best_of_all_reports_spill_statistics_even_when_increase_ii_wins() {
+    let g = paper::example_loop();
+    let m = MachineConfig::uniform(4, 2);
+    let out = BestOfAllDriver::new(SpillDriverOptions::default()).run(&g, &m, 7).unwrap();
+    assert!(out.spill.reschedules >= 1);
+    out.schedule.verify(&out.ddg, &m).unwrap();
+    assert!(out.allocation.total() <= 7);
+}
+
+#[test]
+fn sixty_four_registers_rarely_need_any_spill() {
+    // The paper: "when 64 registers are available there is almost no
+    // performance degradation".
+    let loops = suite(404, 50);
+    let m = MachineConfig::p2l4();
+    let mut spilled_loops = 0;
+    for l in &loops {
+        let c = compile(&l.ddg, &m, 64, &CompileOptions::default()).unwrap();
+        if c.spilled() > 0 {
+            spilled_loops += 1;
+        }
+    }
+    assert!(spilled_loops <= 5, "{spilled_loops} of 50 needed spills at 64 regs");
+}

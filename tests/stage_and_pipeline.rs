@@ -1,0 +1,100 @@
+//! Integration tests for the two scheduling extensions: the stage-scheduling
+//! post-pass and whole-pipeline emission.
+
+use regpipe::loops::{kernels, suite};
+use regpipe::prelude::*;
+use regpipe::regalloc::LifetimeAnalysis;
+use regpipe::sched::{stage_schedule, AsapScheduler, PipelinedLoop, SchedRequest, Scheduler};
+
+#[test]
+fn stage_scheduling_never_hurts_across_the_suite() {
+    let loops = suite(909, 60);
+    let m = MachineConfig::p2l4();
+    for l in &loops {
+        for sched in [
+            HrmsScheduler::new().schedule(&l.ddg, &m, &SchedRequest::default()).unwrap(),
+            AsapScheduler::new().schedule(&l.ddg, &m, &SchedRequest::default()).unwrap(),
+        ] {
+            let before = LifetimeAnalysis::new(&l.ddg, &sched);
+            let post = stage_schedule(&l.ddg, &m, &sched);
+            post.verify(&l.ddg, &m)
+                .unwrap_or_else(|e| panic!("{}: {e}", l.name));
+            assert_eq!(post.ii(), sched.ii(), "{}: II untouched", l.name);
+            let after = LifetimeAnalysis::new(&l.ddg, &post);
+            // The pass minimizes the lifetime sum; the sum bounds average
+            // pressure, so it must not grow.
+            let sum = |a: &LifetimeAnalysis| a.lifetimes().map(|lt| lt.length()).sum::<i64>();
+            assert!(
+                sum(&after) <= sum(&before),
+                "{}: lifetime sum grew {} -> {}",
+                l.name,
+                sum(&before),
+                sum(&after)
+            );
+        }
+    }
+}
+
+#[test]
+fn stage_scheduling_preserves_modulo_slots() {
+    let g = kernels::state_fragment();
+    let m = MachineConfig::p2l4();
+    let s = AsapScheduler::new().schedule(&g, &m, &SchedRequest::default()).unwrap();
+    let post = stage_schedule(&g, &m, &s);
+    let ii = i64::from(s.ii());
+    for id in g.op_ids() {
+        assert_eq!(post.start(id).rem_euclid(ii), s.start(id).rem_euclid(ii));
+    }
+}
+
+#[test]
+fn pipeline_trace_is_resource_legal_cycle_by_cycle() {
+    use regpipe::machine::Mrt;
+    // The modulo property promises the flat trace never oversubscribes a
+    // functional unit in any absolute cycle; check it directly.
+    let g = kernels::hydro_fragment();
+    let m = MachineConfig::p1l4();
+    let s = HrmsScheduler::new().schedule(&g, &m, &SchedRequest::default()).unwrap();
+    let p = PipelinedLoop::new(&g, &s);
+    let trace = p.trace(&s, 12);
+    let horizon = trace.iter().map(|e| e.cycle).max().unwrap() + 1;
+    // An MRT with II == horizon is a plain (non-modulo) reservation table.
+    let mut table = Mrt::new(&m, u32::try_from(horizon + 1).unwrap());
+    for e in &trace {
+        assert!(
+            table.try_place(g.op(e.op).kind(), e.cycle),
+            "unit oversubscribed at absolute cycle {} by {}",
+            e.cycle,
+            g.op(e.op).name()
+        );
+    }
+}
+
+#[test]
+fn pipeline_code_size_grows_with_stage_count() {
+    let g = kernels::inner_product();
+    let m = MachineConfig::p2l6();
+    let s = HrmsScheduler::new().schedule(&g, &m, &SchedRequest::default()).unwrap();
+    let p = PipelinedLoop::new(&g, &s);
+    assert_eq!(
+        p.code_size(),
+        p.prologue_ops() + g.num_ops() + p.epilogue_ops()
+    );
+    if s.stage_count() == 1 {
+        assert_eq!(p.code_size(), g.num_ops());
+    } else {
+        assert!(p.code_size() > g.num_ops());
+    }
+}
+
+#[test]
+fn compiled_loops_emit_pipelines() {
+    let m = MachineConfig::p2l4();
+    for g in kernels::all_kernels() {
+        let c = compile(&g, &m, 16, &CompileOptions::default()).unwrap();
+        let p = PipelinedLoop::new(c.ddg(), c.schedule());
+        assert_eq!(p.ii(), c.ii());
+        let txt = p.to_string();
+        assert!(txt.contains("kernel"));
+    }
+}
