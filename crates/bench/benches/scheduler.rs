@@ -14,34 +14,22 @@ fn bench_schedulers(c: &mut Criterion) {
     let loops = suite(0xC1DA, 64);
     let mut group = c.benchmark_group("schedule_suite64");
     for machine in MachineConfig::paper_configs() {
-        group.bench_with_input(
-            BenchmarkId::new("hrms", machine.name()),
-            &machine,
-            |b, m| {
-                let sched = HrmsScheduler::new();
-                b.iter(|| {
-                    for l in &loops {
-                        black_box(
-                            sched.schedule(&l.ddg, m, &SchedRequest::default()).unwrap(),
-                        );
-                    }
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("asap", machine.name()),
-            &machine,
-            |b, m| {
-                let sched = AsapScheduler::new();
-                b.iter(|| {
-                    for l in &loops {
-                        black_box(
-                            sched.schedule(&l.ddg, m, &SchedRequest::default()).unwrap(),
-                        );
-                    }
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("hrms", machine.name()), &machine, |b, m| {
+            let sched = HrmsScheduler::new();
+            b.iter(|| {
+                for l in &loops {
+                    black_box(sched.schedule(&l.ddg, m, &SchedRequest::default()).unwrap());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("asap", machine.name()), &machine, |b, m| {
+            let sched = AsapScheduler::new();
+            b.iter(|| {
+                for l in &loops {
+                    black_box(sched.schedule(&l.ddg, m, &SchedRequest::default()).unwrap());
+                }
+            });
+        });
     }
     group.finish();
 }

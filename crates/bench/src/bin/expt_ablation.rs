@@ -45,7 +45,9 @@ fn main() {
         hrms_stage += u64::from(allocate(&l.ddg, &hs).total());
         asap_stage += u64::from(allocate(&l.ddg, &as_).total());
     }
-    println!("=== Ablation 1/4: scheduler register sensitivity ({n} same-II loops, {machine}) ===");
+    println!(
+        "=== Ablation 1/4: scheduler register sensitivity ({n} same-II loops, {machine}) ==="
+    );
     println!("  total registers, HRMS:              {hrms_regs}");
     println!("  total registers, ASAP baseline:     {asap_regs}");
     println!("  total registers, HRMS + stage-sched: {hrms_stage}");

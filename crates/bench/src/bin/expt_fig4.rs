@@ -18,8 +18,11 @@ fn sweep(name: &str, g: &regpipe_ddg::Ddg, machine: &MachineConfig) {
         let Ok((s, a)) = driver.probe(g, machine, ii) else { continue };
         println!("{:>5} {:>6} {:>4}", s.ii(), a.total(), s.stage_count());
         if a.total() <= 32 && !reached_32 {
-            println!("      ^ fits 32 registers (II {} = {:.0}% of peak throughput)",
-                s.ii(), 100.0 * f64::from(lo) / f64::from(s.ii()));
+            println!(
+                "      ^ fits 32 registers (II {} = {:.0}% of peak throughput)",
+                s.ii(),
+                100.0 * f64::from(lo) / f64::from(s.ii())
+            );
             reached_32 = true;
         }
         if a.total() <= 16 && !reached_16 {

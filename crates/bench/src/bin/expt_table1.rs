@@ -11,10 +11,7 @@ fn main() {
         "=== Table 1: non-convergence of the increase-II strategy ({} loops) ===\n",
         suite_size()
     );
-    println!(
-        "{:<8} {:>6} {:>14} {:>14}",
-        "config", "regs", "never-converge", "% of cycles"
-    );
+    println!("{:<8} {:>6} {:>14} {:>14}", "config", "regs", "never-converge", "% of cycles");
     for machine in MachineConfig::paper_configs() {
         for regs in REGISTER_BUDGETS {
             let row = table1_row(&loops, &machine, regs);

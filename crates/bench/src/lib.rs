@@ -29,10 +29,7 @@ use regpipe_spill::SelectHeuristic;
 
 /// The suite size, honouring `REGPIPE_SUITE_SIZE` (default 1258).
 pub fn suite_size() -> usize {
-    std::env::var("REGPIPE_SUITE_SIZE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1258)
+    std::env::var("REGPIPE_SUITE_SIZE").ok().and_then(|v| v.parse().ok()).unwrap_or(1258)
 }
 
 /// The evaluation suite at the configured size (fixed seed).
@@ -250,8 +247,7 @@ mod tests {
         let loops = small_suite();
         let m = MachineConfig::p2l4();
         let ideal_agg = run_ideal(&loops, &m);
-        let constrained =
-            run_spill_variant(&loops, &m, 32, SpillDriverOptions::default());
+        let constrained = run_spill_variant(&loops, &m, 32, SpillDriverOptions::default());
         assert!(constrained.failures == 0, "all loops must fit after spilling");
         assert!(constrained.cycles >= ideal_agg.cycles);
         assert!(constrained.memory_refs >= ideal_agg.memory_refs);

@@ -157,9 +157,7 @@ mod tests {
     fn generous_budget_short_circuits() {
         let g = fig2();
         let m = MachineConfig::uniform(4, 2);
-        let out = BestOfAllDriver::new(SpillDriverOptions::default())
-            .run(&g, &m, 32)
-            .unwrap();
+        let out = BestOfAllDriver::new(SpillDriverOptions::default()).run(&g, &m, 32).unwrap();
         assert_eq!(out.winner, Winner::Spill);
         assert_eq!(out.probes, 0);
         assert_eq!(out.schedule.ii(), 1);
@@ -172,8 +170,8 @@ mod tests {
         for budget in [4, 5, 6, 7, 8] {
             let spill_only =
                 SpillDriver::new(SpillDriverOptions::default()).run(&g, &m, budget);
-            let combined = BestOfAllDriver::new(SpillDriverOptions::default())
-                .run(&g, &m, budget);
+            let combined =
+                BestOfAllDriver::new(SpillDriverOptions::default()).run(&g, &m, budget);
             if let (Ok(s), Ok(c)) = (spill_only, combined) {
                 assert!(
                     c.schedule.ii() <= s.schedule.ii(),
@@ -193,9 +191,7 @@ mod tests {
         // tie — and the winner must never carry more memory ops.
         let g = fig2();
         let m = MachineConfig::uniform(4, 2);
-        let out = BestOfAllDriver::new(SpillDriverOptions::default())
-            .run(&g, &m, 7)
-            .unwrap();
+        let out = BestOfAllDriver::new(SpillDriverOptions::default()).run(&g, &m, 7).unwrap();
         assert!(out.allocation.total() <= 7);
         if out.winner == Winner::IncreaseIi {
             assert_eq!(out.ddg.memory_ops(), g.memory_ops(), "no spill traffic");

@@ -249,13 +249,9 @@ mod tests {
         let g = stencil();
         let m = MachineConfig::p2l4();
         for strategy in [Strategy::IncreaseIi, Strategy::Spill, Strategy::BestOfAll] {
-            let c = compile(
-                &g,
-                &m,
-                64,
-                &CompileOptions { strategy, ..CompileOptions::default() },
-            )
-            .unwrap();
+            let c =
+                compile(&g, &m, 64, &CompileOptions { strategy, ..CompileOptions::default() })
+                    .unwrap();
             assert_eq!(c.ii(), 1, "{strategy:?} should keep the optimal II");
             assert_eq!(c.spilled(), 0);
         }

@@ -64,11 +64,9 @@ pub enum IncreaseIiFailureKind {
 impl fmt::Display for IncreaseIiFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
-            IncreaseIiFailureKind::NeverConverges => write!(
-                f,
-                "increasing the II never converges (floor {} regs)",
-                self.best_regs
-            ),
+            IncreaseIiFailureKind::NeverConverges => {
+                write!(f, "increasing the II never converges (floor {} regs)", self.best_regs)
+            }
             IncreaseIiFailureKind::Plateau => write!(
                 f,
                 "register requirement plateaued at {} regs above the budget",
@@ -167,7 +165,12 @@ impl<S: Scheduler> IncreaseIiDriver<S> {
             trace.push(point.clone());
 
             if allocation.total() <= regs {
-                return Ok(IncreaseIiOutcome { schedule: sched, allocation, mii: lower, trace });
+                return Ok(IncreaseIiOutcome {
+                    schedule: sched,
+                    allocation,
+                    mii: lower,
+                    trace,
+                });
             }
             if allocation.total() < best {
                 best = allocation.total();

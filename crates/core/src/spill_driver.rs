@@ -8,9 +8,7 @@ use std::time::Instant;
 use regpipe_ddg::Ddg;
 use regpipe_machine::{MachineConfig, Mrt};
 use regpipe_regalloc::{allocate, AllocationResult, LifetimeAnalysis};
-use regpipe_sched::{
-    mii, HrmsScheduler, SchedError, SchedRequest, Schedule, Scheduler,
-};
+use regpipe_sched::{mii, HrmsScheduler, SchedError, SchedRequest, Schedule, Scheduler};
 use regpipe_spill::{candidates, select, select_batch, spill, SelectHeuristic};
 
 /// Options for the iterative spilling driver.
@@ -451,11 +449,9 @@ mod tests {
     fn spilling_reaches_tight_budget_on_fig2() {
         let g = fig2();
         let m = MachineConfig::uniform(4, 2);
-        let out = SpillDriver::new(SpillDriverOptions::unaccelerated(
-            SelectHeuristic::MaxLt,
-        ))
-        .run(&g, &m, 5)
-        .unwrap();
+        let out = SpillDriver::new(SpillDriverOptions::unaccelerated(SelectHeuristic::MaxLt))
+            .run(&g, &m, 5)
+            .unwrap();
         assert!(out.allocation.total() <= 5);
         assert!(out.spilled >= 1);
         out.schedule.verify(&out.ddg, &m).unwrap();
@@ -540,11 +536,9 @@ mod tests {
     fn trace_records_every_reschedule() {
         let g = taps();
         let m = MachineConfig::p2l4();
-        let out = SpillDriver::new(SpillDriverOptions::unaccelerated(
-            SelectHeuristic::MaxLt,
-        ))
-        .run(&g, &m, 16)
-        .unwrap();
+        let out = SpillDriver::new(SpillDriverOptions::unaccelerated(SelectHeuristic::MaxLt))
+            .run(&g, &m, 16)
+            .unwrap();
         assert_eq!(out.trace.len() as u32, out.reschedules);
         assert_eq!(out.trace.last().unwrap().regs, out.allocation.total());
         // Spill counts are non-decreasing along the trace.
@@ -559,9 +553,6 @@ mod tests {
         let g = taps();
         let m = MachineConfig::p2l4();
         let err = SpillDriver::new(SpillDriverOptions::default()).run(&g, &m, 0).unwrap_err();
-        assert!(matches!(
-            err.kind,
-            SpillFailureKind::Unspillable | SpillFailureKind::RoundCap
-        ));
+        assert!(matches!(err.kind, SpillFailureKind::Unspillable | SpillFailureKind::RoundCap));
     }
 }

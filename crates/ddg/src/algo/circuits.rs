@@ -87,11 +87,9 @@ pub fn elementary_circuits(g: &Ddg, cap: usize) -> Option<Vec<Circuit>> {
                 continue;
             }
             if w == s {
-                let mut ops: Vec<OpId> =
-                    stack.iter().map(|&(x, _)| OpId::new(x)).collect();
+                let mut ops: Vec<OpId> = stack.iter().map(|&(x, _)| OpId::new(x)).collect();
                 ops.push(OpId::new(v));
-                let total: u32 =
-                    stack.iter().map(|&(_, d)| d).sum::<u32>() + dist;
+                let total: u32 = stack.iter().map(|&(_, d)| d).sum::<u32>() + dist;
                 out.push(Circuit { ops, total_distance: total });
                 found = true;
             } else if !blocked[w] {

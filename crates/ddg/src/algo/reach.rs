@@ -34,8 +34,7 @@ impl Reachability {
             changed = false;
             for v in 0..n {
                 // OR in all successors' sets.
-                let succ: Vec<usize> =
-                    g.successors(OpId::new(v)).map(|s| s.index()).collect();
+                let succ: Vec<usize> = g.successors(OpId::new(v)).map(|s| s.index()).collect();
                 for s in succ {
                     if s == v {
                         continue;
@@ -70,10 +69,7 @@ impl Reachability {
 
     /// All nodes reachable from `from` (including itself).
     pub fn reachable_from(&self, from: OpId) -> Vec<OpId> {
-        (0..self.n)
-            .filter(|&t| self.reaches(from, OpId::new(t)))
-            .map(OpId::new)
-            .collect()
+        (0..self.n).filter(|&t| self.reaches(from, OpId::new(t))).map(OpId::new).collect()
     }
 }
 

@@ -64,8 +64,7 @@ pub fn sccs(g: &Ddg) -> Vec<Scc> {
         on_stack[root] = true;
 
         while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
-            let succs: Vec<usize> =
-                g.successors(OpId::new(v)).map(|s| s.index()).collect();
+            let succs: Vec<usize> = g.successors(OpId::new(v)).map(|s| s.index()).collect();
             if *cursor < succs.len() {
                 let w = succs[*cursor];
                 *cursor += 1;
@@ -94,8 +93,7 @@ pub fn sccs(g: &Ddg) -> Vec<Scc> {
                             break;
                         }
                     }
-                    let cyclic = ops.len() > 1
-                        || g.successors(ops[0]).any(|s| s == ops[0]);
+                    let cyclic = ops.len() > 1 || g.successors(ops[0]).any(|s| s == ops[0]);
                     out.push(Scc { ops, cyclic });
                 }
             }
@@ -175,14 +173,8 @@ mod tests {
         let g = two_recurrences();
         let comps = sccs(&g);
         // The {c,d,e} component is downstream of {a,b}, so it must come first.
-        let pos_ab = comps
-            .iter()
-            .position(|s| s.ops().contains(&OpId::new(0)))
-            .unwrap();
-        let pos_cde = comps
-            .iter()
-            .position(|s| s.ops().contains(&OpId::new(2)))
-            .unwrap();
+        let pos_ab = comps.iter().position(|s| s.ops().contains(&OpId::new(0))).unwrap();
+        let pos_cde = comps.iter().position(|s| s.ops().contains(&OpId::new(2))).unwrap();
         assert!(pos_cde < pos_ab);
     }
 

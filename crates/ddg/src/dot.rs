@@ -70,14 +70,8 @@ pub fn to_dot(g: &Ddg) -> String {
         } else {
             String::new()
         };
-        let _ = writeln!(
-            s,
-            "  n{} -> n{} [{}{}];",
-            e.from().index(),
-            e.to().index(),
-            style,
-            label
-        );
+        let _ =
+            writeln!(s, "  n{} -> n{} [{}{}];", e.from().index(), e.to().index(), style, label);
     }
     let _ = writeln!(s, "}}");
     s

@@ -321,7 +321,11 @@ impl fmt::Display for Ddg {
             self.invariants.len()
         )?;
         for (id, n) in self.ops() {
-            writeln!(f, "  {id} = {n}{}", if self.non_spillable[id.index()] { " [ns]" } else { "" })?;
+            writeln!(
+                f,
+                "  {id} = {n}{}",
+                if self.non_spillable[id.index()] { " [ns]" } else { "" }
+            )?;
         }
         for e in &self.edges {
             writeln!(f, "  {e}")?;

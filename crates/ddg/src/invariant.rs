@@ -95,7 +95,13 @@ impl Invariant {
 
 impl fmt::Display for Invariant {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} uses{})", self.name, self.uses.len(), if self.spilled { ", spilled" } else { "" })
+        write!(
+            f,
+            "{} ({} uses{})",
+            self.name,
+            self.uses.len(),
+            if self.spilled { ", spilled" } else { "" }
+        )
     }
 }
 

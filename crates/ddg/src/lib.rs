@@ -57,7 +57,7 @@ pub use builder::DdgBuilder;
 pub use dot::to_dot;
 pub use edge::{Edge, EdgeId, EdgeKind};
 pub use graph::Ddg;
-pub use invariant::{InvariantId, Invariant};
+pub use invariant::{Invariant, InvariantId};
 pub use node::Node;
 pub use op::{OpId, OpKind};
 pub use validate::DdgError;

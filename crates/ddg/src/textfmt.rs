@@ -131,12 +131,10 @@ pub fn parse(text: &str) -> Result<Ddg, ParseError> {
             }
             "op" => {
                 ensure_graph(&mut g, &name);
-                let op_name = words
-                    .next()
-                    .ok_or_else(|| (line_no, "missing op name".to_string()))?;
-                let kind_str = words
-                    .next()
-                    .ok_or_else(|| (line_no, "missing op kind".to_string()))?;
+                let op_name =
+                    words.next().ok_or_else(|| (line_no, "missing op name".to_string()))?;
+                let kind_str =
+                    words.next().ok_or_else(|| (line_no, "missing op kind".to_string()))?;
                 let kind = parse_kind(kind_str)
                     .ok_or_else(|| (line_no, format!("unknown op kind '{kind_str}'")))?;
                 if by_name.contains_key(op_name) {
@@ -147,32 +145,28 @@ pub fn parse(text: &str) -> Result<Ddg, ParseError> {
                 ops.push((op_name.to_string(), kind));
             }
             "edge" => {
-                let g = g
-                    .as_mut()
-                    .ok_or_else(|| (line_no, "edge before any op".to_string()))?;
-                let from = words
-                    .next()
-                    .ok_or_else(|| (line_no, "missing edge source".to_string()))?;
+                let g =
+                    g.as_mut().ok_or_else(|| (line_no, "edge before any op".to_string()))?;
+                let from =
+                    words.next().ok_or_else(|| (line_no, "missing edge source".to_string()))?;
                 let arrow = words.next();
                 if arrow != Some("->") {
                     return Err((line_no, "expected '->'".to_string()).into());
                 }
-                let to = words
-                    .next()
-                    .ok_or_else(|| (line_no, "missing edge target".to_string()))?;
+                let to =
+                    words.next().ok_or_else(|| (line_no, "missing edge target".to_string()))?;
                 let kind_str = words.next().unwrap_or("reg");
                 let distance: u32 = match words.next() {
-                    Some(d) => d
-                        .parse()
-                        .map_err(|_| (line_no, format!("bad distance '{d}'")))?,
+                    Some(d) => {
+                        d.parse().map_err(|_| (line_no, format!("bad distance '{d}'")))?
+                    }
                     None => 0,
                 };
                 let &f = by_name
                     .get(from)
                     .ok_or_else(|| (line_no, format!("unknown op '{from}'")))?;
-                let &t = by_name
-                    .get(to)
-                    .ok_or_else(|| (line_no, format!("unknown op '{to}'")))?;
+                let &t =
+                    by_name.get(to).ok_or_else(|| (line_no, format!("unknown op '{to}'")))?;
                 let edge = if let Some(stagger) = kind_str.strip_prefix("reg!+") {
                     let s: u32 = stagger
                         .parse()
@@ -186,9 +180,7 @@ pub fn parse(text: &str) -> Result<Ddg, ParseError> {
                         "mem" => EdgeKind::Mem,
                         "ord" => EdgeKind::Order,
                         other => {
-                            return Err(
-                                (line_no, format!("unknown edge kind '{other}'")).into()
-                            )
+                            return Err((line_no, format!("unknown edge kind '{other}'")).into())
                         }
                     };
                     Edge::new(f, t, kind, distance)
@@ -196,9 +188,7 @@ pub fn parse(text: &str) -> Result<Ddg, ParseError> {
                 g.add_edge(edge);
             }
             "inv" => {
-                let g = g
-                    .as_mut()
-                    .ok_or_else(|| (line_no, "inv before any op".to_string()))?;
+                let g = g.as_mut().ok_or_else(|| (line_no, "inv before any op".to_string()))?;
                 let inv_name = words
                     .next()
                     .ok_or_else(|| (line_no, "missing invariant name".to_string()))?;
@@ -207,20 +197,17 @@ pub fn parse(text: &str) -> Result<Ddg, ParseError> {
                 }
                 let mut uses = Vec::new();
                 for u in words {
-                    let &id = by_name
-                        .get(u)
-                        .ok_or_else(|| (line_no, format!("unknown op '{u}'")))?;
+                    let &id =
+                        by_name.get(u).ok_or_else(|| (line_no, format!("unknown op '{u}'")))?;
                     uses.push(id);
                 }
                 g.add_invariant(inv_name, &uses);
             }
             "nospill" => {
-                let g = g
-                    .as_mut()
-                    .ok_or_else(|| (line_no, "nospill before any op".to_string()))?;
-                let op_name = words
-                    .next()
-                    .ok_or_else(|| (line_no, "missing op name".to_string()))?;
+                let g =
+                    g.as_mut().ok_or_else(|| (line_no, "nospill before any op".to_string()))?;
+                let op_name =
+                    words.next().ok_or_else(|| (line_no, "missing op name".to_string()))?;
                 let &id = by_name
                     .get(op_name)
                     .ok_or_else(|| (line_no, format!("unknown op '{op_name}'")))?;
@@ -303,8 +290,10 @@ inv a uses mul1
         assert_eq!(g2.num_ops(), g.num_ops());
         assert_eq!(g2.num_edges(), g.num_edges());
         assert_eq!(g2.num_invariants(), g.num_invariants());
-        let e1: Vec<_> = g.edges().map(|e| (e.from(), e.to(), e.kind(), e.distance())).collect();
-        let e2: Vec<_> = g2.edges().map(|e| (e.from(), e.to(), e.kind(), e.distance())).collect();
+        let e1: Vec<_> =
+            g.edges().map(|e| (e.from(), e.to(), e.kind(), e.distance())).collect();
+        let e2: Vec<_> =
+            g2.edges().map(|e| (e.from(), e.to(), e.kind(), e.distance())).collect();
         assert_eq!(e1, e2);
     }
 
@@ -319,8 +308,7 @@ inv a uses mul1
         b.mem(c, l1, 1); // just to exercise mem edges (add -> load is fine)
         let g = b.build().unwrap();
         let g2 = parse(&format(&g)).unwrap();
-        let fixed: Vec<_> =
-            g2.edges().filter(|e| e.is_fixed()).map(|e| e.stagger()).collect();
+        let fixed: Vec<_> = g2.edges().filter(|e| e.is_fixed()).map(|e| e.stagger()).collect();
         assert_eq!(fixed, vec![0, 2]);
     }
 

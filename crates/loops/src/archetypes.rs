@@ -252,7 +252,11 @@ mod tests {
         // Pinning = the loop-carried consumer is reachable from the producer
         // through zero-distance edges alone, so no schedule can hoist it
         // before the producer and cancel the distance component.
-        fn reaches_zero_dist(g: &regpipe_ddg::Ddg, from: regpipe_ddg::OpId, to: regpipe_ddg::OpId) -> bool {
+        fn reaches_zero_dist(
+            g: &regpipe_ddg::Ddg,
+            from: regpipe_ddg::OpId,
+            to: regpipe_ddg::OpId,
+        ) -> bool {
             let mut seen = vec![false; g.num_ops()];
             let mut stack = vec![from];
             seen[from.index()] = true;

@@ -68,9 +68,8 @@ mod tests {
         let mut low = 0usize;
         let mut high = 0usize;
         for l in &loops {
-            let s = HrmsScheduler::new()
-                .schedule(&l.ddg, &m, &SchedRequest::default())
-                .unwrap();
+            let s =
+                HrmsScheduler::new().schedule(&l.ddg, &m, &SchedRequest::default()).unwrap();
             let regs = allocate(&l.ddg, &s).total();
             if regs <= 16 {
                 low += 1;
@@ -86,10 +85,8 @@ mod tests {
     #[test]
     fn suite_contains_recurrences_and_invariants() {
         let loops = suite(7, 200);
-        let with_rec = loops
-            .iter()
-            .filter(|l| !regpipe_ddg::algo::recurrences(&l.ddg).is_empty())
-            .count();
+        let with_rec =
+            loops.iter().filter(|l| !regpipe_ddg::algo::recurrences(&l.ddg).is_empty()).count();
         let with_inv = loops.iter().filter(|l| l.ddg.num_invariants() > 0).count();
         assert!(with_rec > 20, "recurrences present ({with_rec})");
         assert!(with_inv > 60, "invariants present ({with_inv})");

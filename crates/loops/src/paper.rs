@@ -32,8 +32,7 @@ pub fn example_loop() -> Ddg {
 /// registers smoothly (the paper: 54 regs at II 7, 32 at 13, 16 at 31).
 pub fn apsi47_like() -> Ddg {
     let mut b = DdgBuilder::new("apsi47");
-    let loads: Vec<_> =
-        (0..9).map(|i| b.add_op(OpKind::Load, format!("ld{i}"))).collect();
+    let loads: Vec<_> = (0..9).map(|i| b.add_op(OpKind::Load, format!("ld{i}"))).collect();
     for lane in 0..5 {
         let a = loads[(2 * lane) % 9];
         let c = loads[(2 * lane + 1) % 9];

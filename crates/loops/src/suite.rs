@@ -48,7 +48,9 @@ pub fn suite(seed: u64, n: usize) -> Vec<BenchLoop> {
                 46..=59 => (archetypes::reduction(&mut rng, format!("reduce_{i:04}")), false),
                 60..=77 => (archetypes::wide_ilp(&mut rng, format!("wide_{i:04}")), false),
                 78..=83 => (archetypes::divsqrt(&mut rng, format!("divsqrt_{i:04}")), false),
-                84..=97 => (archetypes::carried_chain(&mut rng, format!("chain_{i:04}")), false),
+                84..=97 => {
+                    (archetypes::carried_chain(&mut rng, format!("chain_{i:04}")), false)
+                }
                 _ => (archetypes::monster(&mut rng, format!("monster_{i:04}")), true),
             };
             // Heavy-tailed base weight: 10^U(2, 4.2) iterations. Big,

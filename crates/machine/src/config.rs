@@ -113,10 +113,7 @@ impl MachineConfig {
         lat_add: u32,
         lat_mul: u32,
     ) -> Self {
-        assert!(
-            mem > 0 && add > 0 && mul > 0 && divsqrt > 0,
-            "unit counts must be positive"
-        );
+        assert!(mem > 0 && add > 0 && mul > 0 && divsqrt > 0, "unit counts must be positive");
         assert!(lat_add > 0 && lat_mul > 0, "latencies must be positive");
         let mut units = [0u32; FuClass::ALL.len()];
         units[FuClass::Memory.index()] = mem;

@@ -142,8 +142,7 @@ impl LifetimeAnalysis {
 
         let live_invariants =
             u32::try_from(ddg.num_live_invariants()).expect("invariant count overflows u32");
-        let max_live =
-            pressure.iter().copied().max().unwrap_or(0) + live_invariants;
+        let max_live = pressure.iter().copied().max().unwrap_or(0) + live_invariants;
         LifetimeAnalysis { ii, lifetimes, pressure, live_invariants, max_live }
     }
 

@@ -170,8 +170,7 @@ mod tests {
         b.reg_dist(p, c, 9);
         let g = b.build().unwrap();
         let s = Schedule::from_fixed(1, &[(p, 0), (c, 1)]); // lifetime 10
-        let alloc =
-            MveAllocator::with_unroll_cap(4).allocate(&LifetimeAnalysis::new(&g, &s));
+        let alloc = MveAllocator::with_unroll_cap(4).allocate(&LifetimeAnalysis::new(&g, &s));
         assert!(alloc.unroll() <= 4);
         assert_eq!(alloc.variant_regs(), 10);
     }

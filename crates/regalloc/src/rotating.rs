@@ -90,23 +90,19 @@ impl RotatingAllocator {
         let ii = i64::from(analysis.ii());
         // Adjacency ordering: by start cycle, longest first on ties so the
         // big lifetimes grab compact runs early.
-        let mut lifetimes: Vec<(i64, i64, OpId)> = analysis
-            .lifetimes()
-            .map(|lt| (lt.start(), lt.end(), lt.producer()))
-            .collect();
+        let mut lifetimes: Vec<(i64, i64, OpId)> =
+            analysis.lifetimes().map(|lt| (lt.start(), lt.end(), lt.producer())).collect();
         lifetimes.sort_by_key(|&(s, e, p)| (s, -(e - s), p));
 
         let max_live_variants = analysis.max_live_variants();
-        let n_ops = analysis
-            .lifetimes()
-            .map(|lt| lt.producer().index() + 1)
-            .max()
-            .unwrap_or(0);
+        let n_ops = analysis.lifetimes().map(|lt| lt.producer().index() + 1).max().unwrap_or(0);
 
         let mut r = max_live_variants.max(u32::from(!lifetimes.is_empty()));
         let (variant_regs, assignment) = loop {
             match try_allocate(&lifetimes, ii, r, n_ops) {
-                Some(assignment) => break (if lifetimes.is_empty() { 0 } else { r }, assignment),
+                Some(assignment) => {
+                    break (if lifetimes.is_empty() { 0 } else { r }, assignment)
+                }
                 None => r += 1,
             }
         };
@@ -314,8 +310,7 @@ mod tests {
                 }
             }
             let g = b.build().unwrap();
-            let starts: Vec<i64> =
-                (0..n).map(|_| rng.random_range(0..30i64)).collect();
+            let starts: Vec<i64> = (0..n).map(|_| rng.random_range(0..30i64)).collect();
             let s = Schedule::new(ii, starts);
             let analysis = analyse(&g, &s);
             let res = RotatingAllocator::new().allocate(&analysis);

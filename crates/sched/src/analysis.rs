@@ -41,8 +41,7 @@ impl TimeAnalysis {
                 return None; // positive cycle: ii < RecMII
             }
             for e in ddg.edges() {
-                let w = edge_latency(machine, ddg, e)
-                    - i64::from(ii) * i64::from(e.distance());
+                let w = edge_latency(machine, ddg, e) - i64::from(ii) * i64::from(e.distance());
                 let cand = asap[e.from().index()] + w;
                 if cand > asap[e.to().index()] {
                     asap[e.to().index()] = cand;
@@ -69,8 +68,7 @@ impl TimeAnalysis {
                 return None;
             }
             for e in ddg.edges() {
-                let w = edge_latency(machine, ddg, e)
-                    - i64::from(ii) * i64::from(e.distance());
+                let w = edge_latency(machine, ddg, e) - i64::from(ii) * i64::from(e.distance());
                 let cand = alap[e.to().index()] - w;
                 if cand < alap[e.from().index()] {
                     alap[e.from().index()] = cand;

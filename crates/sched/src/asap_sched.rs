@@ -89,9 +89,7 @@ mod tests {
         b.reg(a, s);
         let g = b.build().unwrap();
         let m = MachineConfig::p1l4();
-        let sched = AsapScheduler::new()
-            .schedule(&g, &m, &SchedRequest::default())
-            .unwrap();
+        let sched = AsapScheduler::new().schedule(&g, &m, &SchedRequest::default()).unwrap();
         sched.verify(&g, &m).unwrap();
         assert_eq!(sched.ii(), 2, "two memory ops on one unit");
     }
@@ -105,9 +103,7 @@ mod tests {
         b.reg_dist(c, a, 2);
         let g = b.build().unwrap();
         let m = MachineConfig::p2l4();
-        let sched = AsapScheduler::new()
-            .schedule(&g, &m, &SchedRequest::default())
-            .unwrap();
+        let sched = AsapScheduler::new().schedule(&g, &m, &SchedRequest::default()).unwrap();
         sched.verify(&g, &m).unwrap();
         assert_eq!(sched.ii(), 4, "cycle latency 8 over distance 2");
     }

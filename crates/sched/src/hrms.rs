@@ -49,6 +49,21 @@ impl HrmsScheduler {
     pub fn new() -> Self {
         HrmsScheduler { _private: () }
     }
+
+    /// Runs the ordering phase in isolation: the sequence of complex-group
+    /// leaders HRMS places at `ii`, one per group.
+    ///
+    /// The order satisfies the pred-XOR-succ property: a group outside any
+    /// recurrence is emitted while only its predecessors or only its
+    /// successors are already ordered, never both (inside recurrences both
+    /// sides may be ordered; the placement window handles that case).
+    ///
+    /// Returns `None` when the timing analysis is infeasible at `ii`.
+    pub fn ordering(&self, ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Option<Vec<OpId>> {
+        let groups = ComplexGroups::new(ddg, machine);
+        let analysis = TimeAnalysis::new(ddg, machine, ii)?;
+        Some(ordering(ddg, machine, &analysis, &groups))
+    }
 }
 
 impl Scheduler for HrmsScheduler {
@@ -113,6 +128,11 @@ impl Scheduler for HrmsScheduler {
 struct SuperGraph {
     succs: Vec<Vec<usize>>,
     preds: Vec<Vec<usize>>,
+    /// Groups closed into a recurrence by a loop-carried edge internal to
+    /// the group (e.g. an accumulator's self-edge). Tracked separately:
+    /// `succs`/`preds` drop intra-group edges, so a one-group recurrence is
+    /// invisible to the SCC pass.
+    self_cyclic: Vec<bool>,
 }
 
 impl SuperGraph {
@@ -120,6 +140,7 @@ impl SuperGraph {
         let g = groups.len();
         let mut succs = vec![Vec::new(); g];
         let mut preds = vec![Vec::new(); g];
+        let mut self_cyclic = vec![false; g];
         for e in ddg.edges() {
             let gf = groups.group_of(e.from());
             let gt = groups.group_of(e.to());
@@ -130,9 +151,14 @@ impl SuperGraph {
                 if !preds[gt].contains(&gf) {
                     preds[gt].push(gf);
                 }
+            } else if e.distance() > 0 {
+                // Distance-0 intra-group edges (bonds and the free edges
+                // between bonded members) are acyclic by validation; only a
+                // carried edge closes a recurrence through the group.
+                self_cyclic[gf] = true;
             }
         }
-        SuperGraph { succs, preds }
+        SuperGraph { succs, preds, self_cyclic }
     }
 
     /// Tarjan SCCs over the super graph, in reverse topological order.
@@ -322,8 +348,7 @@ fn ordering(
     let sccs = sg.sccs();
     let mut rec_sets: Vec<(u32, Vec<usize>)> = Vec::new();
     for comp in &sccs {
-        let cyclic = comp.len() > 1
-            || sg.succs[comp[0]].contains(&comp[0]);
+        let cyclic = comp.len() > 1 || sg.self_cyclic[comp[0]];
         if cyclic {
             let members: Vec<OpId> = comp
                 .iter()
@@ -561,8 +586,7 @@ pub(crate) fn place_order(
                     continue;
                 }
                 if let Some(ts) = start[e.to().index()] {
-                    let c = ts - edge_latency(machine, ddg, e)
-                        + ii64 * i64::from(e.distance())
+                    let c = ts - edge_latency(machine, ddg, e) + ii64 * i64::from(e.distance())
                         - m_off;
                     late = Some(late.map_or(c, |x: i64| x.min(c)));
                 }
@@ -750,9 +774,7 @@ mod tests {
         b.add_op(OpKind::Add, "a");
         let g = b.build().unwrap();
         let m = MachineConfig::p1l4();
-        let s = HrmsScheduler::new()
-            .schedule(&g, &m, &SchedRequest::starting_at(5))
-            .unwrap();
+        let s = HrmsScheduler::new().schedule(&g, &m, &SchedRequest::starting_at(5)).unwrap();
         assert_eq!(s.ii(), 5);
     }
 
@@ -788,8 +810,7 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
-        let machines =
-            [MachineConfig::p1l4(), MachineConfig::p2l4(), MachineConfig::p2l6()];
+        let machines = [MachineConfig::p1l4(), MachineConfig::p2l4(), MachineConfig::p2l6()];
         for case in 0..150 {
             let n = rng.random_range(2..24usize);
             let mut b = DdgBuilder::new(format!("s{case}"));
@@ -826,5 +847,24 @@ mod tests {
             s.verify(&g, m).unwrap_or_else(|e| panic!("case {case}: {e}\n{g}\n{s}"));
             assert!(s.ii() >= mii(&g, m));
         }
+    }
+    #[test]
+    fn self_recurrence_group_is_ordered_first() {
+        // An accumulator self-recurrence is a one-group recurrence: the
+        // ordering phase must treat it as a recurrence set (highest RecMII
+        // first), not as leftover acyclic work ordered after everything else.
+        let mut b = DdgBuilder::new("acc");
+        let feeders: Vec<_> = (0..4).map(|i| b.add_op(OpKind::Load, format!("f{i}"))).collect();
+        let acc = b.add_op(OpKind::Div, "acc"); // latency makes its RecMII dominate
+        for &f in &feeders {
+            b.reg(f, acc);
+        }
+        b.reg_dist(acc, acc, 1);
+        let g = b.build().unwrap();
+        let m = MachineConfig::p2l4();
+        let order =
+            HrmsScheduler::new().ordering(&g, &m, mii(&g, &m)).expect("feasible analysis");
+        assert_eq!(order[0], acc, "dominant self-recurrence must lead the order: {order:?}");
+        schedule_ok(&g, &m);
     }
 }

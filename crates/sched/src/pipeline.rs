@@ -68,9 +68,7 @@ impl PipelinedLoop {
         // Kernel: one slot per op, annotated with its stage.
         let mut kernel: Vec<(u32, OpId, u32)> = ddg
             .ops()
-            .map(|(id, _)| {
-                ((schedule.start(id) % ii) as u32, id, schedule.stage(id))
-            })
+            .map(|(id, _)| ((schedule.start(id) % ii) as u32, id, schedule.stage(id)))
             .collect();
         kernel.sort_by_key(|&(row, op, _)| (row, op));
 
@@ -219,11 +217,8 @@ mod tests {
             assert_eq!(e.cycle, s.start(e.op) + e.iteration as i64);
         }
         // The store of iteration k issues at cycle 6 + k.
-        let stores: Vec<i64> = trace
-            .iter()
-            .filter(|e| e.op == OpId::new(3))
-            .map(|e| e.cycle)
-            .collect();
+        let stores: Vec<i64> =
+            trace.iter().filter(|e| e.op == OpId::new(3)).map(|e| e.cycle).collect();
         assert_eq!(stores, (6..16).collect::<Vec<i64>>());
     }
 

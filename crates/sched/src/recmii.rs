@@ -21,11 +21,8 @@ pub fn rec_mii(ddg: &Ddg, machine: &MachineConfig) -> u32 {
     }
     // Upper bound: any circuit's latency is at most the sum of all edge
     // latencies, and its distance is at least 1.
-    let hi_bound: i64 = ddg
-        .edges()
-        .map(|e| edge_latency(machine, ddg, e).max(0))
-        .sum::<i64>()
-        .max(1);
+    let hi_bound: i64 =
+        ddg.edges().map(|e| edge_latency(machine, ddg, e).max(0)).sum::<i64>().max(1);
     let mut lo = 1u32;
     let mut hi = u32::try_from(hi_bound).unwrap_or(u32::MAX);
     // Invariant: feasible(hi) is true, feasible(lo - 1)... lo may be feasible.

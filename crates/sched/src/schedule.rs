@@ -236,10 +236,9 @@ impl fmt::Display for VerifyError {
                 f,
                 "dependence {from} -> {to} needs separation >= {required}, got {actual}"
             ),
-            VerifyError::BondViolated { from, to, expected, actual } => write!(
-                f,
-                "bond {from} -> {to} needs separation == {expected}, got {actual}"
-            ),
+            VerifyError::BondViolated { from, to, expected, actual } => {
+                write!(f, "bond {from} -> {to} needs separation == {expected}, got {actual}")
+            }
             VerifyError::ResourceOverflow { op, cycle } => {
                 write!(f, "resources over-subscribed by {op} at modulo cycle {cycle}")
             }

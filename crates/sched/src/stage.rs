@@ -20,9 +20,9 @@
 use regpipe_ddg::{Ddg, EdgeKind};
 use regpipe_machine::MachineConfig;
 
+use crate::edge_latency;
 use crate::groups::ComplexGroups;
 use crate::schedule::Schedule;
-use crate::edge_latency;
 
 /// Applies stage scheduling to `schedule`; returns a schedule with the same
 /// II and modulo slots but (weakly) smaller total lifetime.
@@ -108,12 +108,7 @@ pub fn stage_schedule(ddg: &Ddg, machine: &MachineConfig, schedule: &Schedule) -
             }
         }
     }
-    Schedule::with_provenance(
-        schedule.ii(),
-        start,
-        "stage-scheduled",
-        schedule.iis_tried(),
-    )
+    Schedule::with_provenance(schedule.ii(), start, "stage-scheduled", schedule.iis_tried())
 }
 
 /// Σ over live values of their lifetime length — the integral of register
@@ -181,9 +176,7 @@ mod tests {
         bad.verify(&g, &machine).unwrap();
         let post = stage_schedule(&g, &machine, &bad);
         post.verify(&g, &machine).unwrap();
-        let lt = |s: &Schedule| {
-            (s.start(c) - s.start(p)) + (s.start(st) - s.start(c))
-        };
+        let lt = |s: &Schedule| (s.start(c) - s.start(p)) + (s.start(st) - s.start(c));
         assert!(lt(&post) < lt(&bad), "{} vs {}", lt(&post), lt(&bad));
         assert_eq!(post.start(c) - post.start(p), 4, "one stage is the minimum");
     }

@@ -40,8 +40,9 @@ impl SpillCandidate {
     /// Number of memory operations the spill adds to the loop body.
     pub fn cost(&self) -> u32 {
         match *self {
-            SpillCandidate::Variant { cost, .. }
-            | SpillCandidate::Invariant { cost, .. } => cost,
+            SpillCandidate::Variant { cost, .. } | SpillCandidate::Invariant { cost, .. } => {
+                cost
+            }
         }
     }
 
@@ -153,10 +154,13 @@ pub fn select(
     candidates: &[SpillCandidate],
     heuristic: SelectHeuristic,
 ) -> Option<&SpillCandidate> {
-    candidates.iter().max_by(|a, b| rank(a, heuristic).total_cmp(&rank(b, heuristic))
-        .then(a.lifetime().cmp(&b.lifetime()))
-        .then(b.cost().cmp(&a.cost()))
-        .then(key(b).cmp(&key(a))))
+    candidates.iter().max_by(|a, b| {
+        rank(a, heuristic)
+            .total_cmp(&rank(b, heuristic))
+            .then(a.lifetime().cmp(&b.lifetime()))
+            .then(b.cost().cmp(&a.cost()))
+            .then(key(b).cmp(&key(a)))
+    })
 }
 
 /// Greedy batch selection for the *multiple lifetimes at once* acceleration
@@ -290,9 +294,9 @@ mod tests {
         let (mut g, analysis) = fig2();
         g.mark_value_non_spillable(OpId::new(0));
         let cands = candidates(&g, &analysis);
-        assert!(cands
-            .iter()
-            .all(|c| !matches!(c, SpillCandidate::Variant { producer, .. } if producer.index() == 0)));
+        assert!(cands.iter().all(
+            |c| !matches!(c, SpillCandidate::Variant { producer, .. } if producer.index() == 0)
+        ));
     }
 
     #[test]
@@ -312,8 +316,7 @@ mod tests {
     fn batch_selection_empty_when_under_budget() {
         let (g, analysis) = fig2();
         let cands = candidates(&g, &analysis);
-        let batch =
-            select_batch(&cands, SelectHeuristic::MaxLt, analysis.max_live(), 32, 1);
+        let batch = select_batch(&cands, SelectHeuristic::MaxLt, analysis.max_live(), 32, 1);
         assert!(batch.is_empty());
     }
 

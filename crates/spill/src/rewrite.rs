@@ -82,10 +82,7 @@ pub fn spill(ddg: &mut Ddg, candidate: &SpillCandidate) -> SpillReport {
 }
 
 fn spill_variant(ddg: &mut Ddg, producer: OpId) -> SpillReport {
-    assert!(
-        ddg.is_value_spillable(producer),
-        "stale candidate: {producer} is not spillable"
-    );
+    assert!(ddg.is_value_spillable(producer), "stale candidate: {producer} is not spillable");
     let producer_name = ddg.op(producer).name().to_string();
     let uses: Vec<(OpId, u32)> = ddg.reg_consumers(producer).collect();
     debug_assert!(!uses.is_empty(), "spillable implies live");
@@ -165,10 +162,7 @@ fn spill_variant(ddg: &mut Ddg, producer: OpId) -> SpillReport {
 }
 
 fn spill_invariant(ddg: &mut Ddg, id: regpipe_ddg::InvariantId) -> SpillReport {
-    assert!(
-        ddg.invariant(id).is_spillable(),
-        "stale candidate: {id} is not spillable"
-    );
+    assert!(ddg.invariant(id).is_spillable(), "stale candidate: {id} is not spillable");
     let name = ddg.invariant(id).name().to_string();
     let uses: Vec<OpId> = ddg.invariant(id).uses().to_vec();
     let mut report = SpillReport {
@@ -224,7 +218,9 @@ mod tests {
         let analysis = LifetimeAnalysis::new(g, &s);
         candidates(g, &analysis)
             .into_iter()
-            .find(|c| matches!(c, SpillCandidate::Variant { producer: p, .. } if *p == producer))
+            .find(
+                |c| matches!(c, SpillCandidate::Variant { producer: p, .. } if *p == producer),
+            )
             .expect("candidate exists")
     }
 
@@ -268,9 +264,7 @@ mod tests {
         // Producer bonded to the new store.
         let store = report.new_ops[0];
         assert_eq!(g.op(store).kind(), OpKind::Store);
-        assert!(g
-            .out_edges(OpId::new(1))
-            .any(|e| e.is_fixed() && e.to() == store));
+        assert!(g.out_edges(OpId::new(1)).any(|e| e.is_fixed() && e.to() == store));
         // Memory edge store -> load with the original distance (0).
         let load = report.new_ops[1];
         assert!(g
@@ -288,9 +282,7 @@ mod tests {
         assert_eq!(report.memory_ops_added(), 0);
         g.validate().unwrap();
         // The producer is now bonded to the pre-existing store.
-        assert!(g
-            .out_edges(OpId::new(2))
-            .any(|e| e.is_fixed() && e.to() == OpId::new(3)));
+        assert!(g.out_edges(OpId::new(2)).any(|e| e.is_fixed() && e.to() == OpId::new(3)));
     }
 
     #[test]
@@ -367,11 +359,8 @@ mod tests {
         let v2 = candidate_for(&g, p2);
         spill(&mut g, &v2);
         g.validate().unwrap();
-        let staggers: Vec<u32> = g
-            .in_edges(c)
-            .filter(|e| e.is_fixed())
-            .map(Edge::stagger)
-            .collect();
+        let staggers: Vec<u32> =
+            g.in_edges(c).filter(|e| e.is_fixed()).map(Edge::stagger).collect();
         assert_eq!(staggers.len(), 2, "both reloads bonded");
         assert!(staggers.contains(&0) && staggers.contains(&1));
     }

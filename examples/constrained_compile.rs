@@ -9,9 +9,10 @@ use regpipe::loops::paper::{apsi47_like, apsi50_like};
 use regpipe::prelude::*;
 
 fn main() {
-    for (label, ddg) in
-        [("APSI-47-like (convergent)", apsi47_like()), ("APSI-50-like (floor-bound)", apsi50_like())]
-    {
+    for (label, ddg) in [
+        ("APSI-47-like (convergent)", apsi47_like()),
+        ("APSI-50-like (floor-bound)", apsi50_like()),
+    ] {
         println!("=== {label}: {} ops, {} invariants ===", ddg.num_ops(), ddg.num_invariants());
         println!(
             "{:<8} {:>6} {:>12} {:>6} {:>6} {:>8} {:>10}",

@@ -27,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Unconstrained: schedule at the minimum initiation interval.
     let sched = HrmsScheduler::new().schedule(&ddg, &machine, &Default::default())?;
     let regs = allocate(&ddg, &sched);
-    println!("unconstrained: II = {} (MII = {}), {} registers", sched.ii(), mii(&ddg, &machine), regs.total());
+    println!(
+        "unconstrained: II = {} (MII = {}), {} registers",
+        sched.ii(),
+        mii(&ddg, &machine),
+        regs.total()
+    );
 
     // Constrained: fit the loop into 6 registers. `compile` applies the
     // paper's best-of-all strategy (spill, then probe larger IIs).

@@ -65,8 +65,7 @@ fn parse_machine(spec: &str) -> Result<MachineConfig, String> {
                     .ok_or_else(|| format!("bad uniform spec '{other}'"))?;
                 let units: u32 =
                     units.parse().map_err(|_| format!("bad unit count '{units}'"))?;
-                let lat: u32 =
-                    lat.parse().map_err(|_| format!("bad latency '{lat}'"))?;
+                let lat: u32 = lat.parse().map_err(|_| format!("bad latency '{lat}'"))?;
                 if units == 0 || lat == 0 {
                     return Err("uniform machine needs positive units and latency".into());
                 }
@@ -103,7 +102,13 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let g = load(path)?;
     let machine = parse_machine(flags.get("--machine").unwrap_or("p2l4"))?;
 
-    println!("loop '{}': {} ops, {} edges, {} invariants", g.name(), g.num_ops(), g.num_edges(), g.num_invariants());
+    println!(
+        "loop '{}': {} ops, {} edges, {} invariants",
+        g.name(),
+        g.num_ops(),
+        g.num_edges(),
+        g.num_invariants()
+    );
     let hist = g.kind_histogram();
     let labels = ["load", "store", "add", "mul", "div", "sqrt", "copy"];
     let mix: Vec<String> = labels
@@ -113,7 +118,12 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         .map(|(l, c)| format!("{c} {l}"))
         .collect();
     println!("op mix: {}", mix.join(", "));
-    println!("machine {}: ResMII-bound MII = {}, RecMII = {}", machine.name(), mii(&g, &machine), rec_mii(&g, &machine));
+    println!(
+        "machine {}: ResMII-bound MII = {}, RecMII = {}",
+        machine.name(),
+        mii(&g, &machine),
+        rec_mii(&g, &machine)
+    );
     let recs = regpipe::ddg::algo::recurrences(&g);
     println!("recurrences: {}", recs.len());
     let s = HrmsScheduler::new()

@@ -47,8 +47,8 @@ pub use regpipe_spill as spill;
 /// Convenience re-exports for the common workflow.
 pub mod prelude {
     pub use regpipe_core::{
-        compile, BestOfAllDriver, CompileOptions, CompiledLoop, IncreaseIiDriver,
-        SpillDriver, SpillDriverOptions, Strategy,
+        compile, BestOfAllDriver, CompileOptions, CompiledLoop, IncreaseIiDriver, SpillDriver,
+        SpillDriverOptions, Strategy,
     };
     pub use regpipe_ddg::{Ddg, DdgBuilder, EdgeKind, OpId, OpKind};
     pub use regpipe_machine::MachineConfig;

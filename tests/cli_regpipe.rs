@@ -1,0 +1,124 @@
+//! Golden-output test for the `regpipe` binary: drives `info`, `compile
+//! --strategy best`, and `suite` on the paper's running example and asserts
+//! byte-stable output. Because the whole pipeline is deterministic (see
+//! `tests/determinism.rs`), any drift here is a behavior change, not noise.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use regpipe::ddg::textfmt;
+use regpipe::loops::paper;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_regpipe"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("regpipe-cli-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Write the paper's running example (`x(i) = y(i)*a + y(i-3)`, Fig. 2) in
+/// the text format and return the path.
+fn example_ddg(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("fig2.ddg");
+    fs::write(&path, textfmt::format(&paper::example_loop())).expect("write ddg");
+    path
+}
+
+fn run_ok(mut cmd: Command) -> Output {
+    let out = cmd.output().expect("spawn regpipe");
+    assert!(
+        out.status.success(),
+        "regpipe failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+#[test]
+fn info_reports_the_paper_example_facts() {
+    let dir = scratch_dir("info");
+    let ddg = example_ddg(&dir);
+    let out = run_ok({
+        let mut c = bin();
+        c.arg("info").arg(&ddg);
+        c
+    });
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout,
+        "loop 'fig2': 4 ops, 4 edges, 1 invariants\n\
+         op mix: 1 load, 1 store, 1 add, 1 mul\n\
+         machine P2L4: ResMII-bound MII = 1, RecMII = 1\n\
+         recurrences: 0\n\
+         unconstrained schedule: II = 1, SC = 11, registers = 18 (MaxLive 18)\n"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compile_best_meets_an_8_register_budget_on_the_example() {
+    let dir = scratch_dir("compile");
+    let ddg = example_ddg(&dir);
+    let out = run_ok({
+        let mut c = bin();
+        c.arg("compile").arg(&ddg).args(["--strategy", "best", "--regs", "8"]);
+        c
+    });
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout,
+        "fig2: II = 2 (MII 1), registers = 8/8, spilled = 2, strategy = Spill\n\
+         \n\
+         kernel: II=2, SC=6\n\
+         \x20\x20\x20\x200: Ld[0] Ld.l0[0] *[1]\n\
+         \x20\x20\x20\x201: Ld.l1[2] +[3] St[5]\n\
+         \n"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn suite_emits_a_parseable_deterministic_corpus() {
+    let dir = scratch_dir("suite");
+    let corpus_a = dir.join("a");
+    let corpus_b = dir.join("b");
+    for corpus in [&corpus_a, &corpus_b] {
+        let out = run_ok({
+            let mut c = bin();
+            c.args(["suite", "--size", "3", "--seed", "7", "--dir"]).arg(corpus);
+            c
+        });
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert_eq!(stdout, format!("wrote 3 loops to {}/\n", corpus.display()));
+    }
+    for i in 0..3 {
+        let name = format!("stream_{i:04}.ddg");
+        let a = fs::read_to_string(corpus_a.join(&name)).expect("corpus file");
+        let b = fs::read_to_string(corpus_b.join(&name)).expect("corpus file");
+        // Same seed, same bytes — and the body after the weight header must
+        // parse back into a well-formed graph.
+        assert_eq!(a, b, "{name} differs between identical-seed runs");
+        let body = a.split_once('\n').expect("weight header").1;
+        let g = textfmt::parse(body).expect("corpus file parses");
+        assert!(g.validate().is_ok());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_commands_and_bad_inputs_fail_cleanly() {
+    let out = bin().arg("frobnicate").output().expect("spawn regpipe");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = bin().args(["compile", "/nonexistent/no.ddg"]).output().expect("spawn regpipe");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -114,7 +114,10 @@ fn claim_accelerations_cut_effort_cheaply() {
     let (slow_cycles, slow_effort) =
         run(SpillDriverOptions::unaccelerated(SelectHeuristic::MaxLtOverTraffic));
     let (fast_cycles, fast_effort) = run(SpillDriverOptions::default());
-    assert!(fast_effort * 3 <= slow_effort * 2, "≥1.5x fewer IIs explored: {fast_effort} vs {slow_effort}");
+    assert!(
+        fast_effort * 3 <= slow_effort * 2,
+        "≥1.5x fewer IIs explored: {fast_effort} vs {slow_effort}"
+    );
     assert!(
         fast_cycles <= slow_cycles * 103 / 100,
         "at ≤3% cycle cost: {fast_cycles} vs {slow_cycles}"
@@ -140,8 +143,7 @@ fn claim_spill_beats_increase_ii_and_64_regs_are_roomy() {
         if regs <= 32 {
             continue;
         }
-        let (Ok(a), Ok(b)) =
-            (ii_driver.run(&l.ddg, &m, 32), spill_driver.run(&l.ddg, &m, 32))
+        let (Ok(a), Ok(b)) = (ii_driver.run(&l.ddg, &m, 32), spill_driver.run(&l.ddg, &m, 32))
         else {
             continue;
         };

@@ -47,9 +47,7 @@ fn strategies_rank_consistently() {
             32,
             &CompileOptions { strategy: Strategy::IncreaseIi, ..CompileOptions::default() },
         );
-        if let (Ok(i), Ok(b)) =
-            (ii_only, compile(&l.ddg, &m, 32, &CompileOptions::default()))
-        {
+        if let (Ok(i), Ok(b)) = (ii_only, compile(&l.ddg, &m, 32, &CompileOptions::default())) {
             assert!(b.ii() <= i.ii(), "{}: best {} vs increase-II {}", l.name, b.ii(), i.ii());
         }
     }

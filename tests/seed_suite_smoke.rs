@@ -1,0 +1,63 @@
+//! End-to-end smoke: the synthetic benchmark suite pushed through
+//! `core::compile` with every strategy at two register budgets. A tight
+//! budget may be legitimately unreachable for a given loop — that must
+//! surface as a clean `CompileError`, never a panic — and every successful
+//! compilation must satisfy the Schedule/MRT invariants via `verify` and
+//! actually meet the budget.
+
+use regpipe::core::{compile, CompileOptions, Strategy};
+use regpipe::loops::suite;
+use regpipe::machine::MachineConfig;
+use regpipe::sched::mii;
+
+#[test]
+fn suite_compiles_under_budget_for_every_strategy() {
+    let loops = suite(0xC1DA, 16);
+    let machine = MachineConfig::p2l4();
+    let strategies = [Strategy::IncreaseIi, Strategy::Spill, Strategy::BestOfAll];
+    let budgets = [12u32, 32];
+
+    let mut compiled_ok = 0usize;
+    for strategy in strategies {
+        for budget in budgets {
+            for l in &loops {
+                let options = CompileOptions { strategy, ..CompileOptions::default() };
+                match compile(&l.ddg, &machine, budget, &options) {
+                    Ok(c) => {
+                        compiled_ok += 1;
+                        // Schedule/MRT invariants: dependences, bond offsets,
+                        // and modulo reservation table conflicts.
+                        assert!(
+                            c.schedule().verify(c.ddg(), &machine).is_ok(),
+                            "{} ({strategy:?}, {budget} regs): {:?}",
+                            l.name,
+                            c.schedule().verify(c.ddg(), &machine),
+                        );
+                        assert!(
+                            c.registers_used() <= budget,
+                            "{} ({strategy:?}): {} registers over budget {budget}",
+                            l.name,
+                            c.registers_used(),
+                        );
+                        assert!(
+                            c.ii() >= mii(c.ddg(), &machine),
+                            "{} ({strategy:?}): II {} below MII",
+                            l.name,
+                            c.ii(),
+                        );
+                        assert!(c.schedule().stage_count() >= 1);
+                    }
+                    // Unreachable budgets fail cleanly; the error formats.
+                    Err(e) => assert!(!e.to_string().is_empty()),
+                }
+            }
+        }
+    }
+    // The generous budget must be broadly compilable: if nearly everything
+    // errors, the drivers are broken even though nothing panicked.
+    assert!(
+        compiled_ok >= loops.len() * strategies.len(),
+        "only {compiled_ok} of {} strategy/budget/loop combinations compiled",
+        loops.len() * strategies.len() * budgets.len(),
+    );
+}

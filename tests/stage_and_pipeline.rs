@@ -17,8 +17,7 @@ fn stage_scheduling_never_hurts_across_the_suite() {
         ] {
             let before = LifetimeAnalysis::new(&l.ddg, &sched);
             let post = stage_schedule(&l.ddg, &m, &sched);
-            post.verify(&l.ddg, &m)
-                .unwrap_or_else(|e| panic!("{}: {e}", l.name));
+            post.verify(&l.ddg, &m).unwrap_or_else(|e| panic!("{}: {e}", l.name));
             assert_eq!(post.ii(), sched.ii(), "{}: II untouched", l.name);
             let after = LifetimeAnalysis::new(&l.ddg, &post);
             // The pass minimizes the lifetime sum; the sum bounds average
@@ -76,10 +75,7 @@ fn pipeline_code_size_grows_with_stage_count() {
     let m = MachineConfig::p2l6();
     let s = HrmsScheduler::new().schedule(&g, &m, &SchedRequest::default()).unwrap();
     let p = PipelinedLoop::new(&g, &s);
-    assert_eq!(
-        p.code_size(),
-        p.prologue_ops() + g.num_ops() + p.epilogue_ops()
-    );
+    assert_eq!(p.code_size(), p.prologue_ops() + g.num_ops() + p.epilogue_ops());
     if s.stage_count() == 1 {
         assert_eq!(p.code_size(), g.num_ops());
     } else {

@@ -15,10 +15,7 @@ fn assert_equivalent(a: &Ddg, b: &Ddg) {
     assert_eq!(a.num_invariants(), b.num_invariants());
     for (id, node) in a.ops() {
         assert_eq!(node.kind(), b.op(id).kind());
-        assert_eq!(
-            a.is_value_marked_non_spillable(id),
-            b.is_value_marked_non_spillable(id)
-        );
+        assert_eq!(a.is_value_marked_non_spillable(id), b.is_value_marked_non_spillable(id));
     }
     let edges = |g: &Ddg| {
         let mut v: Vec<_> = g
