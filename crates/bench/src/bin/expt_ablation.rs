@@ -11,8 +11,9 @@
 //! 4. **Stage scheduling post-pass** — register reduction at constant II
 //!    (the paper's reference [13]) applied on top of both schedulers.
 
-use regpipe_bench::evaluation_suite;
+use regpipe_bench::{evaluation_suite, harness_jobs};
 use regpipe_core::{SpillDriver, SpillDriverOptions};
+use regpipe_exec::parallel_map;
 use regpipe_loops::paper;
 use regpipe_machine::MachineConfig;
 use regpipe_regalloc::{allocate, LifetimeAnalysis, MveAllocator};
@@ -20,6 +21,7 @@ use regpipe_sched::{stage_schedule, AsapScheduler, HrmsScheduler, SchedRequest, 
 use regpipe_spill::eliminate_dead_ops;
 
 fn main() {
+    regpipe_bench::apply_jobs_flag();
     let loops = evaluation_suite();
     let machine = MachineConfig::p2l4();
     let hrms = HrmsScheduler::new();
@@ -28,22 +30,30 @@ fn main() {
     // ------------------------------------------------------------------
     // 1. HRMS vs ASAP register pressure (same-II subset).
     // ------------------------------------------------------------------
-    let (mut n, mut hrms_regs, mut asap_regs, mut hrms_stage, mut asap_stage) =
-        (0u32, 0u64, 0u64, 0u64, 0u64);
-    for l in &loops {
+    let per_loop = parallel_map(&loops, harness_jobs(), |_, l| {
         let h = hrms.schedule(&l.ddg, &machine, &SchedRequest::default()).unwrap();
         let a = asap.schedule(&l.ddg, &machine, &SchedRequest::default()).unwrap();
         if h.ii() != a.ii() {
-            continue;
+            return None;
         }
-        n += 1;
-        hrms_regs += u64::from(allocate(&l.ddg, &h).total());
-        asap_regs += u64::from(allocate(&l.ddg, &a).total());
         // 4. Stage scheduling on top of each.
         let hs = stage_schedule(&l.ddg, &machine, &h);
         let as_ = stage_schedule(&l.ddg, &machine, &a);
-        hrms_stage += u64::from(allocate(&l.ddg, &hs).total());
-        asap_stage += u64::from(allocate(&l.ddg, &as_).total());
+        Some((
+            u64::from(allocate(&l.ddg, &h).total()),
+            u64::from(allocate(&l.ddg, &a).total()),
+            u64::from(allocate(&l.ddg, &hs).total()),
+            u64::from(allocate(&l.ddg, &as_).total()),
+        ))
+    });
+    let (mut n, mut hrms_regs, mut asap_regs, mut hrms_stage, mut asap_stage) =
+        (0u32, 0u64, 0u64, 0u64, 0u64);
+    for (h, a, hs, as_) in per_loop.into_iter().flatten() {
+        n += 1;
+        hrms_regs += h;
+        asap_regs += a;
+        hrms_stage += hs;
+        asap_stage += as_;
     }
     println!(
         "=== Ablation 1/4: scheduler register sensitivity ({n} same-II loops, {machine}) ==="
@@ -62,14 +72,17 @@ fn main() {
     // ------------------------------------------------------------------
     // 2. Rotating file vs MVE.
     // ------------------------------------------------------------------
-    let (mut rot_total, mut mve_total, mut worst_unroll) = (0u64, 0u64, 1u32);
-    for l in &loops {
+    let per_loop = parallel_map(&loops, harness_jobs(), |_, l| {
         let s = hrms.schedule(&l.ddg, &machine, &SchedRequest::default()).unwrap();
         let analysis = LifetimeAnalysis::new(&l.ddg, &s);
-        rot_total += u64::from(allocate(&l.ddg, &s).total());
         let mve = MveAllocator::new().allocate(&analysis);
-        mve_total += u64::from(mve.total());
-        worst_unroll = worst_unroll.max(mve.unroll());
+        (u64::from(allocate(&l.ddg, &s).total()), u64::from(mve.total()), mve.unroll())
+    });
+    let (mut rot_total, mut mve_total, mut worst_unroll) = (0u64, 0u64, 1u32);
+    for (rot, mve, unroll) in per_loop {
+        rot_total += rot;
+        mve_total += mve;
+        worst_unroll = worst_unroll.max(unroll);
     }
     println!("=== Ablation 2/4: rotating register file vs modulo variable expansion ===");
     println!("  total registers, rotating file: {rot_total}");

@@ -4,8 +4,10 @@
 //! latency 2): schedule at II=1 (11 variant registers), reschedule at II=2
 //! (7 registers), then spill V1 and land on 5 registers at II=2.
 
+use regpipe_bench::harness_jobs;
 use regpipe_core::{SpillDriver, SpillDriverOptions};
 use regpipe_ddg::to_dot;
+use regpipe_exec::parallel_map;
 use regpipe_loops::paper::example_loop;
 use regpipe_machine::MachineConfig;
 use regpipe_regalloc::{allocate, LifetimeAnalysis};
@@ -13,6 +15,7 @@ use regpipe_sched::{mii, HrmsScheduler, Kernel, SchedRequest, Scheduler};
 use regpipe_spill::SelectHeuristic;
 
 fn main() {
+    regpipe_bench::apply_jobs_flag();
     let g = example_loop();
     let m = MachineConfig::uniform(4, 2);
     let scheduler = HrmsScheduler::new();
@@ -21,8 +24,16 @@ fn main() {
     println!("{g}");
     println!("MII = {}\n", mii(&g, &m));
 
+    // Figures 2 and 3 are independent schedules of the same graph (best II
+    // and II = 2); compute both as a fan-out on the batch engine.
+    let requests = [SchedRequest::default(), SchedRequest::starting_at(2)];
+    let mut schedules = parallel_map(&requests, harness_jobs(), |_, req| {
+        scheduler.schedule(&g, &m, req).expect("schedulable")
+    })
+    .into_iter();
+
     // Figure 2: II = 1.
-    let s1 = scheduler.schedule(&g, &m, &SchedRequest::default()).expect("schedulable");
+    let s1 = schedules.next().unwrap();
     s1.verify(&g, &m).expect("valid");
     let lt1 = LifetimeAnalysis::new(&g, &s1);
     let a1 = allocate(&g, &s1);
@@ -44,7 +55,7 @@ fn main() {
     );
 
     // Figure 3: II = 2.
-    let s2 = scheduler.schedule(&g, &m, &SchedRequest::starting_at(2)).expect("schedulable");
+    let s2 = schedules.next().unwrap();
     let lt2 = LifetimeAnalysis::new(&g, &s2);
     println!("--- Figure 3: II = {} ---", s2.ii());
     println!(

@@ -1,13 +1,22 @@
 //! Figure 7: evolution of registers, MII, II and memory traffic as
 //! lifetimes are spilled one at a time with Max(LT), for the APSI-47-like
 //! and APSI-50-like loops.
+//!
+//! The four `(loop, budget)` traces are independent, so they run as a
+//! fan-out on the `regpipe_exec` engine (`--jobs`/`REGPIPE_JOBS`) and are
+//! printed in figure order afterwards, identical for any worker count.
 
+use std::fmt::Write as _;
+
+use regpipe_bench::harness_jobs;
 use regpipe_core::{SpillDriver, SpillDriverOptions};
+use regpipe_exec::parallel_map;
 use regpipe_loops::paper::{apsi47_like, apsi50_like};
 use regpipe_machine::MachineConfig;
 use regpipe_spill::SelectHeuristic;
 
-fn trace(name: &str, g: &regpipe_ddg::Ddg, machine: &MachineConfig, budget: u32) {
+fn trace(name: &str, g: &regpipe_ddg::Ddg, machine: &MachineConfig, budget: u32) -> String {
+    let mut out = String::new();
     let driver = SpillDriver::new(SpillDriverOptions {
         heuristic: SelectHeuristic::MaxLt,
         multi_spill: false,
@@ -15,45 +24,58 @@ fn trace(name: &str, g: &regpipe_ddg::Ddg, machine: &MachineConfig, budget: u32)
         ii_relief: true,
         max_rounds: 512,
     });
-    println!("--- {name}: Max(LT), one lifetime per reschedule, budget {budget} ---");
-    println!(
+    let _ =
+        writeln!(out, "--- {name}: Max(LT), one lifetime per reschedule, budget {budget} ---");
+    let _ = writeln!(
+        out,
         "{:>8} {:>5} {:>5} {:>6} {:>8} {:>9}",
         "spilled", "MII", "II", "regs", "mem ops", "bus use %"
     );
     match driver.run(g, machine, budget) {
-        Ok(out) => {
-            for p in &out.trace {
-                println!(
-                    "{:>8} {:>5} {:>5} {:>6} {:>8} {:>9.1}",
-                    p.spilled, p.mii, p.ii, p.regs, p.memory_ops, p.memory_utilization
-                );
+        Ok(run) => {
+            for p in &run.trace {
+                point(&mut out, p);
             }
-            println!(
+            let _ = writeln!(
+                out,
                 "=> fits {budget} regs with {} lifetimes spilled, II {} (first II was {})\n",
-                out.spilled,
-                out.schedule.ii(),
-                out.first_ii()
+                run.spilled,
+                run.schedule.ii(),
+                run.first_ii()
             );
         }
         Err(e) => {
             for p in &e.trace {
-                println!(
-                    "{:>8} {:>5} {:>5} {:>6} {:>8} {:>9.1}",
-                    p.spilled, p.mii, p.ii, p.regs, p.memory_ops, p.memory_utilization
-                );
+                point(&mut out, p);
             }
-            println!("=> failed: {e}\n");
+            let _ = writeln!(out, "=> failed: {e}\n");
         }
     }
+    out
+}
+
+fn point(out: &mut String, p: &regpipe_core::SpillTracePoint) {
+    let _ = writeln!(
+        out,
+        "{:>8} {:>5} {:>5} {:>6} {:>8} {:>9.1}",
+        p.spilled, p.mii, p.ii, p.regs, p.memory_ops, p.memory_utilization
+    );
 }
 
 fn main() {
+    regpipe_bench::apply_jobs_flag();
     let machine = MachineConfig::p2l4();
     println!("=== Figure 7: spilling trace ({machine}) ===\n");
-    for budget in [32, 16] {
-        trace("Figure 7a: APSI-47-like", &apsi47_like(), &machine, budget);
-    }
-    for budget in [32, 16] {
-        trace("Figure 7b: APSI-50-like", &apsi50_like(), &machine, budget);
+    let cells = [
+        ("Figure 7a: APSI-47-like", apsi47_like(), 32),
+        ("Figure 7a: APSI-47-like", apsi47_like(), 16),
+        ("Figure 7b: APSI-50-like", apsi50_like(), 32),
+        ("Figure 7b: APSI-50-like", apsi50_like(), 16),
+    ];
+    let sections = parallel_map(&cells, harness_jobs(), |_, (name, g, budget)| {
+        trace(name, g, &machine, *budget)
+    });
+    for section in sections {
+        print!("{section}");
     }
 }

@@ -6,9 +6,11 @@ use regpipe_bench::{
     evaluation_suite, fig8_variants, mcycles, run_ideal, run_spill_variant, suite_size,
     REGISTER_BUDGETS,
 };
+use regpipe_exec::stable_output;
 use regpipe_machine::MachineConfig;
 
 fn main() {
+    regpipe_bench::apply_jobs_flag();
     let loops = evaluation_suite();
     println!("=== Figure 8: heuristic evaluation ({} loops) ===", suite_size());
     for machine in MachineConfig::paper_configs() {
@@ -31,15 +33,21 @@ fn main() {
             );
             for variant in fig8_variants() {
                 let agg = run_spill_variant(&loops, &machine, regs, variant.options);
+                // Wall time is the one non-deterministic column; suppress
+                // it under REGPIPE_STABLE_OUTPUT=1 so runs byte-compare.
+                let time = if stable_output() {
+                    "         -".to_string()
+                } else {
+                    format!("{:>9.2}s", agg.sched_time.as_secs_f64())
+                };
                 println!(
-                    "{:<28} {:>12} {:>12} {:>8} {:>10} {:>10} {:>9.2}s",
+                    "{:<28} {:>12} {:>12} {:>8} {:>10} {:>10} {time}",
                     variant.label,
                     mcycles(agg.cycles),
                     mcycles(agg.memory_refs),
                     agg.failures,
                     agg.reschedules,
                     agg.iis_explored,
-                    agg.sched_time.as_secs_f64()
                 );
             }
         }

@@ -6,6 +6,7 @@ use regpipe_bench::{evaluation_suite, fig9_row, mcycles, suite_size, REGISTER_BU
 use regpipe_machine::MachineConfig;
 
 fn main() {
+    regpipe_bench::apply_jobs_flag();
     let loops = evaluation_suite();
     println!(
         "=== Figure 9: increase-II vs spill vs best-of-all ({} loops) ===\n",

@@ -6,6 +6,7 @@ use regpipe_bench::{evaluation_suite, suite_size, table1_row, REGISTER_BUDGETS};
 use regpipe_machine::MachineConfig;
 
 fn main() {
+    regpipe_bench::apply_jobs_flag();
     let loops = evaluation_suite();
     println!(
         "=== Table 1: non-convergence of the increase-II strategy ({} loops) ===\n",

@@ -13,23 +13,58 @@
 //!
 //! Run them in release mode, e.g.
 //! `cargo run --release -p regpipe-bench --bin expt_table1`.
-//! Every binary honours `REGPIPE_SUITE_SIZE` (default 1258) so quick passes
-//! are possible.
+//! Every binary honours `REGPIPE_SUITE_SIZE` (default 1258; a set value
+//! must be a positive integer — anything else is a hard error, not a
+//! silent fallback) so quick passes are possible, and fans independent
+//! per-loop work out across `REGPIPE_JOBS` / `--jobs` worker threads via
+//! `regpipe_exec` — results are identical for every worker count.
 
+use std::num::NonZeroUsize;
 use std::time::Duration;
 
 use regpipe_core::{
     BestOfAllDriver, IncreaseIiDriver, SpillDriver, SpillDriverOptions, Winner,
 };
-use regpipe_loops::{suite, BenchLoop};
+use regpipe_exec::{parallel_map, resolve_jobs};
+use regpipe_loops::{suite, suite_size_from_env, BenchLoop};
 use regpipe_machine::MachineConfig;
 use regpipe_regalloc::allocate;
 use regpipe_sched::{HrmsScheduler, SchedRequest, Scheduler};
 use regpipe_spill::SelectHeuristic;
 
 /// The suite size, honouring `REGPIPE_SUITE_SIZE` (default 1258).
+///
+/// A set but invalid value (unparsable or zero) is a hard error: the
+/// process exits with a message rather than silently benchmarking 1258
+/// loops. The parsing rule itself is [`regpipe_loops::parse_suite_size`].
 pub fn suite_size() -> usize {
-    std::env::var("REGPIPE_SUITE_SIZE").ok().and_then(|v| v.parse().ok()).unwrap_or(1258)
+    suite_size_from_env().unwrap_or_else(|e| die(&e))
+}
+
+/// The worker count for the harness's parallel sweeps: `REGPIPE_JOBS` if
+/// set (strictly validated), otherwise the machine's parallelism.
+pub fn harness_jobs() -> NonZeroUsize {
+    resolve_jobs(None).unwrap_or_else(|e| die(&e))
+}
+
+/// Applies a `--jobs N` argument from an `expt_*` binary's command line by
+/// exporting it as `REGPIPE_JOBS` (which [`harness_jobs`] then picks up).
+/// Call this first thing in `main`, before any threads exist.
+pub fn apply_jobs_flag() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+        // Validate eagerly so a typo fails here, not mid-run.
+        if let Err(e) = resolve_jobs(Some(value)) {
+            die(&e);
+        }
+        std::env::set_var("REGPIPE_JOBS", value);
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("regpipe-bench: {message}");
+    std::process::exit(2);
 }
 
 /// The evaluation suite at the configured size (fixed seed).
@@ -107,7 +142,10 @@ pub struct SuiteAggregate {
     pub spilled: u64,
 }
 
-/// Runs one spill variant over the suite.
+/// Runs one spill variant over the suite, one worker thread per
+/// [`harness_jobs`] slot. Loops are independent, so the fold below visits
+/// per-loop outcomes in suite order and the aggregate is identical for any
+/// worker count (wall-clock `sched_time` aside).
 pub fn run_spill_variant(
     loops: &[BenchLoop],
     machine: &MachineConfig,
@@ -115,9 +153,11 @@ pub fn run_spill_variant(
     options: SpillDriverOptions,
 ) -> SuiteAggregate {
     let driver = SpillDriver::new(options);
+    let per_loop =
+        parallel_map(loops, harness_jobs(), |_, l| driver.run(&l.ddg, machine, regs));
     let mut agg = SuiteAggregate::default();
-    for l in loops {
-        match driver.run(&l.ddg, machine, regs) {
+    for (l, outcome) in loops.iter().zip(per_loop) {
+        match outcome {
             Ok(out) => {
                 agg.cycles += l.cycles(out.schedule.ii());
                 agg.memory_refs += u64::from(out.memory_ops()) * l.weight;
@@ -134,9 +174,9 @@ pub fn run_spill_variant(
 
 /// The ideal (infinite-register) aggregate for the same loops.
 pub fn run_ideal(loops: &[BenchLoop], machine: &MachineConfig) -> SuiteAggregate {
+    let per_loop = parallel_map(loops, harness_jobs(), |_, l| ideal(l, machine));
     let mut agg = SuiteAggregate::default();
-    for l in loops {
-        let (ii, _) = ideal(l, machine);
+    for (l, (ii, _)) in loops.iter().zip(per_loop) {
         agg.cycles += l.cycles(ii);
         agg.memory_refs += u64::from(l.ddg.memory_ops() as u32) * l.weight;
     }
@@ -155,17 +195,19 @@ pub struct Table1Row {
 /// Computes one Table 1 row.
 pub fn table1_row(loops: &[BenchLoop], machine: &MachineConfig, regs: u32) -> Table1Row {
     let driver = IncreaseIiDriver::new();
+    let per_loop = parallel_map(loops, harness_jobs(), |_, l| {
+        let (ii, ideal_regs) = ideal(l, machine);
+        // Loops that fit outright converged at the first try; only the
+        // rest exercise the increase-II driver.
+        let converges = ideal_regs <= regs || driver.run(&l.ddg, machine, regs).is_ok();
+        (l.cycles(ii), converges)
+    });
     let mut non_convergent = Vec::new();
     let mut bad_cycles = 0u64;
     let mut total_cycles = 0u64;
-    for l in loops {
-        let (ii, ideal_regs) = ideal(l, machine);
-        let cycles = l.cycles(ii);
+    for (l, (cycles, converges)) in loops.iter().zip(per_loop) {
         total_cycles += cycles;
-        if ideal_regs <= regs {
-            continue; // fits outright — converged at the first try
-        }
-        if driver.run(&l.ddg, machine, regs).is_err() {
+        if !converges {
             non_convergent.push(l.name.clone());
             bad_cycles += cycles;
         }
@@ -201,29 +243,30 @@ pub fn fig9_row(loops: &[BenchLoop], machine: &MachineConfig, regs: u32) -> Fig9
     let ii_driver = IncreaseIiDriver::new();
     let spill_driver = SpillDriver::new(SpillDriverOptions::default());
     let best_driver = BestOfAllDriver::new(SpillDriverOptions::default());
-    let mut row = Fig9Row::default();
-    for l in loops {
+    // Per loop: `(ii_of_increase_ii, ii_of_spill, ii_of_best)` for the
+    // comparable subset, `None` for loops that need no reduction or are
+    // non-convergent (excluded, as in the paper).
+    let per_loop = parallel_map(loops, harness_jobs(), |_, l| {
         let (_, ideal_regs) = ideal(l, machine);
         if ideal_regs <= regs {
-            continue; // no reduction needed
+            return None; // no reduction needed
         }
-        let Ok(by_ii) = ii_driver.run(&l.ddg, machine, regs) else {
-            continue; // non-convergent: excluded, as in the paper
-        };
-        let Ok(by_spill) = spill_driver.run(&l.ddg, machine, regs) else {
-            continue;
-        };
-        let Ok(by_best) = best_driver.run(&l.ddg, machine, regs) else {
-            continue;
-        };
+        let by_ii = ii_driver.run(&l.ddg, machine, regs).ok()?;
+        let by_spill = spill_driver.run(&l.ddg, machine, regs).ok()?;
+        let by_best = best_driver.run(&l.ddg, machine, regs).ok()?;
+        debug_assert!(matches!(by_best.winner, Winner::Spill | Winner::IncreaseIi));
+        Some((by_ii.schedule.ii(), by_spill.schedule.ii(), by_best.schedule.ii()))
+    });
+    let mut row = Fig9Row::default();
+    for (l, iis) in loops.iter().zip(per_loop) {
+        let Some((ii_ii, spill_ii, best_ii)) = iis else { continue };
         row.subset += 1;
-        row.increase_ii_cycles += l.cycles(by_ii.schedule.ii());
-        row.spill_cycles += l.cycles(by_spill.schedule.ii());
-        row.best_cycles += l.cycles(by_best.schedule.ii());
-        if by_ii.schedule.ii() < by_spill.schedule.ii() {
+        row.increase_ii_cycles += l.cycles(ii_ii);
+        row.spill_cycles += l.cycles(spill_ii);
+        row.best_cycles += l.cycles(best_ii);
+        if ii_ii < spill_ii {
             row.increase_ii_wins += 1;
         }
-        debug_assert!(matches!(by_best.winner, Winner::Spill | Winner::IncreaseIi));
     }
     row
 }

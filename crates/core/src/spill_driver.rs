@@ -118,10 +118,21 @@ impl SpillOutcome {
 pub struct SpillFailure {
     /// Why the driver stopped.
     pub kind: SpillFailureKind,
-    /// Best (lowest) register requirement observed.
-    pub best_regs: u32,
+    /// Best (lowest) register requirement observed, or `None` when the
+    /// driver failed before completing a single schedule/allocate round
+    /// (e.g. a round cap of 0, or an immediate scheduler error) — there is
+    /// no observation to report in that case.
+    pub best_regs: Option<u32>,
     /// The trace up to the failure.
     pub trace: Vec<SpillTracePoint>,
+}
+
+impl SpillFailure {
+    /// `best_regs` rendered for humans: the number, or `n/a` when no
+    /// round completed.
+    fn best_regs_display(&self) -> String {
+        self.best_regs.map_or_else(|| "n/a".to_string(), |r| r.to_string())
+    }
 }
 
 /// Why spilling gave up.
@@ -144,11 +155,13 @@ impl fmt::Display for SpillFailure {
             SpillFailureKind::Unspillable => write!(
                 f,
                 "no spillable lifetime left; loop floor is {} registers",
-                self.best_regs
+                self.best_regs_display()
             ),
-            SpillFailureKind::RoundCap => {
-                write!(f, "spill driver hit its round cap at {} registers", self.best_regs)
-            }
+            SpillFailureKind::RoundCap => write!(
+                f,
+                "spill driver hit its round cap at {} registers",
+                self.best_regs_display()
+            ),
             SpillFailureKind::Sched(e) => write!(f, "scheduling failed: {e}"),
         }
     }
@@ -201,7 +214,9 @@ impl<S: Scheduler> SpillDriver<S> {
         let mut spilled = 0u32;
         let mut reschedules = 0u32;
         let mut iis_explored = 0u32;
-        let mut best = u32::MAX;
+        // No allocation observed yet: failing before the first round must
+        // report "n/a", not a u32::MAX sentinel leaking into messages.
+        let mut best: Option<u32> = None;
         let mut prev_ii: Option<u32> = None;
 
         loop {
@@ -235,7 +250,7 @@ impl<S: Scheduler> SpillDriver<S> {
             reschedules += 1;
             iis_explored += sched.iis_tried();
             let allocation = allocate(&g, &sched);
-            best = best.min(allocation.total());
+            best = Some(best.map_or(allocation.total(), |b| b.min(allocation.total())));
             trace.push(SpillTracePoint {
                 spilled,
                 mii: current_mii,
@@ -325,7 +340,7 @@ impl<S: Scheduler> SpillDriver<S> {
         spilled: u32,
         mut reschedules: u32,
         mut iis_explored: u32,
-        mut best: u32,
+        mut best: Option<u32>,
         mut trace: Vec<SpillTracePoint>,
         started: Instant,
     ) -> Result<SpillOutcome, SpillFailure> {
@@ -355,7 +370,7 @@ impl<S: Scheduler> SpillDriver<S> {
             reschedules += 1;
             iis_explored += sched.iis_tried();
             let allocation = allocate(&g, &sched);
-            best = best.min(allocation.total());
+            best = Some(best.map_or(allocation.total(), |b| b.min(allocation.total())));
             trace.push(SpillTracePoint {
                 spilled,
                 mii: mii(&g, machine),
@@ -554,5 +569,34 @@ mod tests {
         let m = MachineConfig::p2l4();
         let err = SpillDriver::new(SpillDriverOptions::default()).run(&g, &m, 0).unwrap_err();
         assert!(matches!(err.kind, SpillFailureKind::Unspillable | SpillFailureKind::RoundCap));
+    }
+
+    /// Regression: with `max_rounds = 0` the driver fails before any
+    /// schedule/allocate round, so there is no best requirement to report.
+    /// `best_regs` used to be a `u32::MAX` sentinel that leaked into the
+    /// message as "4294967295 registers"; it must render as "n/a" now.
+    #[test]
+    fn round_cap_before_first_round_reports_no_best_regs() {
+        let g = taps();
+        let m = MachineConfig::p2l4();
+        let err = SpillDriver::new(SpillDriverOptions {
+            max_rounds: 0,
+            ..SpillDriverOptions::default()
+        })
+        .run(&g, &m, 16)
+        .unwrap_err();
+        assert_eq!(err.kind, SpillFailureKind::RoundCap);
+        assert_eq!(err.best_regs, None);
+        let message = err.to_string();
+        assert!(message.contains("n/a"), "message renders n/a: {message}");
+        assert!(!message.contains("4294967295"), "sentinel leaked: {message}");
+        // Once at least one round completes, the observation is real again.
+        let err = SpillDriver::new(SpillDriverOptions {
+            max_rounds: 1,
+            ..SpillDriverOptions::default()
+        })
+        .run(&g, &m, 16)
+        .unwrap_err();
+        assert!(err.best_regs.is_some());
     }
 }

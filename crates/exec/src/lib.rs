@@ -1,0 +1,63 @@
+//! Deterministic multi-threaded batch execution for the evaluation suite.
+//!
+//! The paper's evaluation (Section 5) compiles ~1258 loops at two register
+//! budgets under three strategies — thousands of independent `compile`
+//! calls. This crate fans those cells out across worker threads while
+//! keeping every observable result **bit-identical to a sequential run**:
+//!
+//! * [`parallel_map`] — an ordered parallel map on [`std::thread::scope`]
+//!   with a chunked atomic work queue. Results come back in input order
+//!   regardless of worker count, so any deterministic per-item function
+//!   stays deterministic under parallelism.
+//! * [`BatchRequest`] / [`run_batch`] — the batch-compilation engine: every
+//!   `BenchLoop × budget × strategy` cell is compiled independently and
+//!   collected into a [`BatchReport`] (II, registers, spills, reschedules,
+//!   wall time per cell) whose deterministic portion is byte-identical for
+//!   any `--jobs` value.
+//! * [`BatchReport::to_json`] — a machine-readable `BENCH_suite.json`
+//!   rendering (schema `regpipe-bench-suite/v1`, see [`json`]) so the perf
+//!   trajectory is trackable across PRs.
+//! * [`resolve_jobs`] — worker-count policy: explicit flag, then the
+//!   `REGPIPE_JOBS` environment variable, then the machine's available
+//!   parallelism. Invalid values are hard errors, never silent fallbacks.
+//!
+//! Wall-clock times are the only non-deterministic fields; they are kept
+//! out of [`BatchReport::to_json`] unless timing is explicitly requested,
+//! and suppressed from human output when [`stable_output`] is on.
+//!
+//! The crate has no registry dependencies (the environment is offline);
+//! JSON support is a small vendored value model in [`json`].
+//!
+//! ```
+//! use std::num::NonZeroUsize;
+//! use regpipe_core::{CompileOptions, Strategy};
+//! use regpipe_exec::{run_batch, BatchRequest};
+//! use regpipe_loops::suite;
+//! use regpipe_machine::MachineConfig;
+//!
+//! let loops = suite(7, 4);
+//! let req = BatchRequest {
+//!     machine: MachineConfig::p2l4(),
+//!     budgets: vec![64, 32],
+//!     strategies: vec![Strategy::BestOfAll],
+//!     options: CompileOptions::default(),
+//!     jobs: NonZeroUsize::new(2).unwrap(),
+//! };
+//! let report = run_batch(&loops, &req);
+//! assert_eq!(report.cells.len(), 4 * 2);
+//! // The deterministic rendering is identical for any job count.
+//! let sequential = run_batch(&loops, &BatchRequest { jobs: NonZeroUsize::new(1).unwrap(), ..req.clone() });
+//! assert_eq!(report.to_json(false), sequential.to_json(false));
+//! ```
+
+mod batch;
+mod jobs;
+pub mod json;
+mod pmap;
+
+pub use batch::{
+    parse_strategy, run_batch, strategy_slug, BatchAggregate, BatchReport, BatchRequest,
+    CellOutcome, CellStatus,
+};
+pub use jobs::{resolve_jobs, stable_output};
+pub use pmap::parallel_map;

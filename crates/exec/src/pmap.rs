@@ -1,0 +1,111 @@
+//! Ordered parallel map with a chunked work queue.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Applies `f` to every item of `items` using up to `jobs` worker threads
+/// and returns the results **in input order**.
+///
+/// Work is claimed in chunks off a shared atomic counter, so a slow item
+/// (the suite's weights are heavy-tailed) only delays its own chunk while
+/// other workers drain the rest of the queue. Which thread computes which
+/// item is scheduling-dependent, but the returned vector is not: results
+/// are reassembled by index, so for a deterministic `f` the output is
+/// identical for every `jobs` value, including 1.
+///
+/// With `jobs == 1` (or one item) no threads are spawned at all; that path
+/// is the reference behavior the parallel path must match.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the remaining workers finish their
+/// current chunks.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: NonZeroUsize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.get().min(n.max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    // Small chunks for load balance, but never so many that queue traffic
+    // dominates: ~16 chunks per worker.
+    let chunk = (n / (workers * 16)).max(1);
+    let next = AtomicUsize::new(0);
+
+    let mut indexed: Vec<(usize, R)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (offset, item) in items[start..end].iter().enumerate() {
+                            let i = start + offset;
+                            produced.push((i, f(i, item)));
+                        }
+                    }
+                    produced
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| {
+                // Re-raise the worker's own panic payload so the original
+                // diagnostic (e.g. an assert naming the failing loop)
+                // reaches the caller intact.
+                h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn preserves_order_for_any_job_count() {
+        let items: Vec<u64> = (0..101).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for j in [1, 2, 3, 8, 64] {
+            assert_eq!(parallel_map(&items, jobs(j), |_, x| x * x), expect, "jobs={j}");
+        }
+    }
+
+    #[test]
+    fn passes_the_item_index() {
+        let items = vec!["a", "b", "c"];
+        let got = parallel_map(&items, jobs(2), |i, s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, jobs(4), |_, x| *x).is_empty());
+        assert_eq!(parallel_map(&[7u32], jobs(4), |_, x| x + 1), [8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let items: Vec<u32> = (0..5).collect();
+        assert_eq!(parallel_map(&items, jobs(32), |_, x| *x), items);
+    }
+}

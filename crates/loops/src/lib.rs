@@ -37,7 +37,9 @@ pub mod kernels;
 pub mod paper;
 mod suite;
 
-pub use suite::{default_suite, suite, BenchLoop};
+pub use suite::{
+    default_suite, parse_suite_size, suite, suite_size_from_env, BenchLoop, DEFAULT_SUITE_SIZE,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,27 +1,17 @@
 //! The `regpipe` command-line tool: compile loop dependence graphs under a
-//! register budget from the terminal.
+//! register budget from the terminal, and run the batch evaluation suite.
 //!
-//! ```text
-//! regpipe info <file.ddg>                      facts about a loop
-//! regpipe compile <file.ddg> [options]         schedule under a budget
-//! regpipe suite --size N [--seed S] [--dir D]  emit a synthetic corpus
-//!
-//! compile options:
-//!   --machine p1l4|p2l4|p2l6|uniform:<units>,<latency>   (default p2l4)
-//!   --regs <n>                                           (default 32)
-//!   --strategy best|spill|increase-ii                    (default best)
-//!   --heuristic lt|lt-traf                               (default lt-traf)
-//!   --emit kernel|pipeline|dot|text                      (default kernel)
-//! ```
-//!
-//! The input format is documented in `regpipe_ddg::textfmt`.
+//! Run `regpipe help` (or `regpipe help <command>`) for the full usage;
+//! the same text is kept in [`usage`] below. The input format is
+//! documented in `regpipe_ddg::textfmt`.
 
 use std::fs;
 use std::process::ExitCode;
 
-use regpipe::core::{compile, CompileOptions, Strategy};
+use regpipe::core::{compile, CompileOptions};
 use regpipe::ddg::{textfmt, to_dot, Ddg};
-use regpipe::loops::suite;
+use regpipe::exec::{parse_strategy, resolve_jobs, run_batch, strategy_slug, BatchRequest};
+use regpipe::loops::{suite, suite_size_from_env};
 use regpipe::machine::MachineConfig;
 use regpipe::regalloc::allocate;
 use regpipe::sched::{mii, rec_mii, HrmsScheduler, PipelinedLoop, SchedRequest, Scheduler};
@@ -33,8 +23,10 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
+        // Help goes to stdout and succeeds; `regpipe help <command>`
+        // narrows to one subcommand.
         Some("--help" | "-h" | "help") | None => {
-            eprintln!("usage: regpipe <info|compile|suite> ... (see --help in the crate docs)");
+            print!("{}", usage(args.get(1).map(String::as_str)));
             Ok(())
         }
         Some(other) => Err(format!("unknown command '{other}'")),
@@ -45,6 +37,51 @@ fn main() -> ExitCode {
             eprintln!("regpipe: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The full usage text, or one subcommand's section.
+fn usage(topic: Option<&str>) -> String {
+    let info = "\
+regpipe info <file.ddg> [--machine M]
+  Facts about a loop: op mix, MII/RecMII, recurrences, and the
+  unconstrained schedule's II and register requirement.
+";
+    let compile_ = "\
+regpipe compile <file.ddg> [options]
+  Schedule a loop under a register budget.
+  --machine p1l4|p2l4|p2l6|uniform:<units>,<latency>   (default p2l4)
+  --regs <n>                                           (default 32)
+  --strategy best|spill|increase-ii                    (default best)
+  --heuristic lt|lt-traf                               (default lt-traf)
+  --emit kernel|pipeline|dot|text                      (default kernel)
+";
+    let suite_ = "\
+regpipe suite [options]
+  Run the evaluation suite: every loop x budget x strategy cell is an
+  independent compile call, fanned out across worker threads with
+  deterministic (thread-count-independent) results, and the report is
+  written as machine-readable JSON.
+  --size <n>        suite size  (default: REGPIPE_SUITE_SIZE, then 1258)
+  --seed <s>        suite seed  (default 49626)
+  --jobs <n>        worker threads (default: REGPIPE_JOBS, then all cores)
+  --machine <m>     as for compile                     (default p2l4)
+  --budgets <list>  comma-separated register budgets   (default 64,32)
+  --strategies <l>  comma-separated strategies         (default best,spill,increase-ii)
+  --out <file>      report path                        (default BENCH_suite.json)
+
+regpipe suite --dir <dir> [--size N] [--seed S]
+  Emit the synthetic corpus as .ddg files instead of running it
+  (default size 100).
+";
+    match topic {
+        Some("info") => info.to_string(),
+        Some("compile") => compile_.to_string(),
+        Some("suite") => suite_.to_string(),
+        _ => format!(
+            "usage: regpipe <info|compile|suite|help> ...\n\n{info}\n{compile_}\n{suite_}\n\
+             The .ddg input format is documented in `regpipe_ddg::textfmt`.\n"
+        ),
     }
 }
 
@@ -150,12 +187,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         .unwrap_or("32")
         .parse()
         .map_err(|_| "bad --regs value".to_string())?;
-    let strategy = match flags.get("--strategy").unwrap_or("best") {
-        "best" => Strategy::BestOfAll,
-        "spill" => Strategy::Spill,
-        "increase-ii" => Strategy::IncreaseIi,
-        other => return Err(format!("unknown strategy '{other}'")),
-    };
+    let strategy = parse_strategy(flags.get("--strategy").unwrap_or("best"))?;
     let heuristic = match flags.get("--heuristic").unwrap_or("lt-traf") {
         "lt" => SelectHeuristic::MaxLt,
         "lt-traf" => SelectHeuristic::MaxLtOverTraffic,
@@ -189,17 +221,37 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
 
 fn cmd_suite(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
-    let size: usize = flags
-        .get("--size")
-        .unwrap_or("100")
-        .parse()
-        .map_err(|_| "bad --size value".to_string())?;
+    let explicit_size: Option<usize> = match flags.get("--size") {
+        Some(raw) => Some(
+            raw.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--size must be a positive integer, got '{raw}'"))?,
+        ),
+        None => None,
+    };
     let seed: u64 = flags
         .get("--seed")
         .unwrap_or("49626") // 0xC1DA
         .parse()
         .map_err(|_| "bad --seed value".to_string())?;
-    let dir = flags.get("--dir").unwrap_or("suite");
+    match flags.get("--dir") {
+        // Corpus emission keeps its historical default of 100 files.
+        Some(dir) => emit_corpus(dir, seed, explicit_size.unwrap_or(100)),
+        None => {
+            // Run mode shares the harness's REGPIPE_SUITE_SIZE default so
+            // the CI smoke path sizes the run with one env variable.
+            let size = match explicit_size {
+                Some(n) => n,
+                None => suite_size_from_env()?,
+            };
+            run_suite(&flags, seed, size)
+        }
+    }
+}
+
+/// `suite --dir`: emit the corpus as `.ddg` files.
+fn emit_corpus(dir: &str, seed: u64, size: usize) -> Result<(), String> {
     fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
     let loops = suite(seed, size);
     for l in &loops {
@@ -209,5 +261,66 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     println!("wrote {} loops to {dir}/", loops.len());
+    Ok(())
+}
+
+/// `suite` without `--dir`: run every cell through the batch engine.
+fn run_suite(flags: &Flags<'_>, seed: u64, size: usize) -> Result<(), String> {
+    let machine = parse_machine(flags.get("--machine").unwrap_or("p2l4"))?;
+    let jobs = resolve_jobs(flags.get("--jobs"))?;
+    let budgets = flags
+        .get("--budgets")
+        .unwrap_or("64,32")
+        .split(',')
+        .map(|b| b.parse::<u32>().map_err(|_| format!("bad budget '{b}' in --budgets")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let strategies = flags
+        .get("--strategies")
+        .unwrap_or("best,spill,increase-ii")
+        .split(',')
+        .map(parse_strategy)
+        .collect::<Result<Vec<_>, _>>()?;
+    let out_path = flags.get("--out").unwrap_or("BENCH_suite.json");
+
+    let loops = suite(seed, size);
+    let req =
+        BatchRequest { machine, budgets, strategies, options: CompileOptions::default(), jobs };
+    let report = run_batch(&loops, &req);
+
+    println!(
+        "=== suite evaluation: {} loops (seed {seed}), machine {} ===",
+        report.suite_size, report.machine
+    );
+    println!(
+        "{:<8} {:<12} {:>7} {:>7} {:>12} {:>12} {:>9} {:>9}",
+        "budget", "strategy", "fitted", "failed", "Mcycles", "Mmem-refs", "spilled", "resched"
+    );
+    for agg in report.aggregates() {
+        println!(
+            "{:<8} {:<12} {:>7} {:>7} {:>12.1} {:>12.1} {:>9} {:>9}",
+            agg.budget,
+            agg.strategy.map_or("?", strategy_slug),
+            agg.fitted,
+            agg.failures,
+            agg.cycles as f64 / 1e6,
+            agg.memory_refs as f64 / 1e6,
+            agg.spilled,
+            agg.reschedules
+        );
+    }
+    // The JSON report keeps only deterministic fields by default so runs
+    // byte-compare across --jobs values; REGPIPE_BENCH_TIMING=1 opts into
+    // per-cell wall times. Timing for humans goes to stderr, off the
+    // byte-comparable stream.
+    let include_timing = std::env::var("REGPIPE_BENCH_TIMING").is_ok_and(|v| v == "1");
+    fs::write(out_path, report.to_json(include_timing))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    eprintln!(
+        "compiled {} cells with {} jobs in {:.2}s",
+        report.cells.len(),
+        report.jobs,
+        report.total_wall.as_secs_f64()
+    );
     Ok(())
 }

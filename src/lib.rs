@@ -20,6 +20,9 @@
 //!   scheduling-time accelerations), and their "best of all" combination.
 //! * [`loops`] — the synthetic benchmark suite standing in for the paper's
 //!   1258 Perfect Club loops, plus replicas of the paper's named loops.
+//! * [`exec`] — the deterministic multi-threaded batch-compilation engine
+//!   (`BatchRequest` → `BatchReport`) behind `regpipe suite` and the
+//!   `expt_*` harness, with its `BENCH_suite.json` report format.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@
 
 pub use regpipe_core as core;
 pub use regpipe_ddg as ddg;
+pub use regpipe_exec as exec;
 pub use regpipe_loops as loops;
 pub use regpipe_machine as machine;
 pub use regpipe_regalloc as regalloc;
@@ -51,6 +55,7 @@ pub mod prelude {
         SpillDriverOptions, Strategy,
     };
     pub use regpipe_ddg::{Ddg, DdgBuilder, EdgeKind, OpId, OpKind};
+    pub use regpipe_exec::{parallel_map, run_batch, BatchReport, BatchRequest};
     pub use regpipe_machine::MachineConfig;
     pub use regpipe_regalloc::{allocate, LifetimeAnalysis};
     pub use regpipe_sched::{mii, HrmsScheduler, Schedule, Scheduler};

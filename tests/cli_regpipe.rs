@@ -122,3 +122,71 @@ fn unknown_commands_and_bad_inputs_fail_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+/// Regression: `help`/`--help` used to print a one-line usage to stderr.
+/// The full per-subcommand usage (including `--jobs`) must go to stdout
+/// with exit 0, and nothing to stderr.
+#[test]
+fn help_prints_full_usage_to_stdout() {
+    for invocation in [&["help"][..], &["--help"], &["-h"]] {
+        let out = bin().args(invocation).output().expect("spawn regpipe");
+        assert!(out.status.success(), "{invocation:?} must exit 0");
+        assert!(out.stderr.is_empty(), "{invocation:?} must not write to stderr");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        for needle in ["regpipe info", "regpipe compile", "regpipe suite", "--jobs"] {
+            assert!(stdout.contains(needle), "{invocation:?} output missing '{needle}'");
+        }
+    }
+    // No arguments behaves like help.
+    let out = bin().output().expect("spawn regpipe");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--jobs"));
+    // Per-subcommand narrowing.
+    let out = bin().args(["help", "compile"]).output().expect("spawn regpipe");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("--strategy"));
+    assert!(!stdout.contains("regpipe info"), "narrowed help shows one subcommand");
+}
+
+/// `suite` without `--dir` runs the batch engine: stdout and the emitted
+/// `BENCH_suite.json` must be byte-identical for any `--jobs` value, and
+/// the JSON must parse.
+#[test]
+fn suite_run_is_byte_identical_across_job_counts() {
+    let dir = scratch_dir("suite-run");
+    let mut outputs = Vec::new();
+    for jobs in ["1", "3"] {
+        let json_path = dir.join(format!("report-{jobs}.json"));
+        let out = run_ok({
+            let mut c = bin();
+            c.args(["suite", "--size", "5", "--seed", "11", "--jobs", jobs, "--out"])
+                .arg(&json_path);
+            c
+        });
+        let report = fs::read_to_string(&json_path).expect("report emitted");
+        regpipe::exec::json::parse(&report).expect("report parses");
+        outputs.push((String::from_utf8(out.stdout).unwrap(), report));
+    }
+    let stdout_1 = &outputs[0].0;
+    let stdout_3 = &outputs[1].0;
+    // The report path differs between the two runs; compare stdout modulo
+    // that one line.
+    let strip =
+        |s: &str| s.lines().filter(|l| !l.starts_with("wrote ")).collect::<Vec<_>>().join("\n");
+    assert_eq!(strip(stdout_1), strip(stdout_3), "stdout differs across --jobs");
+    assert_eq!(outputs[0].1, outputs[1].1, "BENCH_suite.json differs across --jobs");
+    assert!(stdout_1.contains("suite evaluation"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Strict flag validation: a bad `--jobs` or `--size` is a clean error.
+#[test]
+fn suite_rejects_bad_jobs_and_size() {
+    for args in [&["suite", "--size", "5", "--jobs", "0"][..], &["suite", "--size", "nope"]] {
+        let out = bin().args(args).output().expect("spawn regpipe");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("must be a positive integer"), "{args:?}: {stderr}");
+    }
+}
