@@ -2,14 +2,14 @@
 //!
 //! 1. **Scheduler register sensitivity** — HRMS vs the ASAP baseline at
 //!    equal IIs (the paper's motivation for using a register-sensitive
-//!    scheduler, citing its reference [21]).
+//!    scheduler, citing its reference \[21\]).
 //! 2. **Rotating register file vs MVE** — the register and code-size cost
 //!    of modulo variable expansion when no rotating file exists
 //!    (Section 2.3's alternative).
 //! 3. **Dead-code elimination after spilling** — the paper keeps dead
 //!    loads (Figure 5c); what does removing them buy?
 //! 4. **Stage scheduling post-pass** — register reduction at constant II
-//!    (the paper's reference [13]) applied on top of both schedulers.
+//!    (the paper's reference \[13\]) applied on top of both schedulers.
 
 use regpipe_bench::{evaluation_suite, harness_jobs};
 use regpipe_core::{SpillDriver, SpillDriverOptions};

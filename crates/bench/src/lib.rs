@@ -19,6 +19,9 @@
 //! per-loop work out across `REGPIPE_JOBS` / `--jobs` worker threads via
 //! `regpipe_exec` — results are identical for every worker count.
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 use std::num::NonZeroUsize;
 use std::time::Duration;
 

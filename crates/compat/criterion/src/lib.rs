@@ -8,6 +8,9 @@
 //! Outside `cargo bench` (i.e. without a `--bench` argument) every benchmark
 //! body runs exactly once, so bench binaries double as smoke tests.
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 use std::fmt::Display;
 use std::time::Instant;
 
@@ -28,6 +31,7 @@ impl Default for Criterion {
 }
 
 impl Criterion {
+    /// Runs one named benchmark body, reporting mean ns/iter.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -38,6 +42,7 @@ impl Criterion {
         self
     }
 
+    /// Opens a named group; its benchmarks report as `group/id`.
     pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
         BenchmarkGroup { criterion: self, name: name.to_string() }
     }
@@ -50,6 +55,7 @@ pub struct BenchmarkGroup<'c> {
 }
 
 impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
     pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -59,6 +65,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Runs one parameterized benchmark within the group.
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         I: ?Sized,
@@ -76,6 +83,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Ends the group (a no-op here, as in criterion's API contract).
     pub fn finish(self) {}
 }
 
@@ -85,10 +93,12 @@ pub struct BenchmarkId {
 }
 
 impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
     pub fn new(function: impl Display, parameter: impl Display) -> Self {
         BenchmarkId { repr: format!("{function}/{parameter}") }
     }
 
+    /// An id rendered as the parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
         BenchmarkId { repr: parameter.to_string() }
     }
@@ -106,6 +116,8 @@ impl Bencher {
         Bencher { quick, iters: 0, nanos: 0 }
     }
 
+    /// Times `f`: one pass in test mode, a ~200ms sampling loop under
+    /// `cargo bench`.
     pub fn iter<O, F>(&mut self, mut f: F)
     where
         F: FnMut() -> O,

@@ -11,6 +11,9 @@
 //! the test. That trade keeps the stub small while preserving the property
 //! coverage the suite relies on.
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 pub mod strategy {
     //! Strategies: deterministic value factories composed like proptest's.
 
@@ -19,6 +22,7 @@ pub mod strategy {
 
     /// A factory for test values, driven by the per-case generator.
     pub trait Strategy {
+        /// The type of values this strategy produces.
         type Value;
 
         /// Produce one value for this test case.
@@ -118,6 +122,7 @@ pub mod arbitrary {
 
     /// Types with a canonical whole-domain strategy.
     pub trait Arbitrary: Sized {
+        /// Draw one value over the type's whole domain.
         fn arbitrary(rng: &mut StdRng) -> Self;
     }
 
@@ -196,7 +201,7 @@ pub mod collection {
 
     use crate::strategy::Strategy;
 
-    /// Element counts for [`vec`]: an exact size or a half-open range.
+    /// Element counts for [`vec()`]: an exact size or a half-open range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -289,6 +294,7 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
+        /// A config running `cases` iterations per property.
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
         }

@@ -8,6 +8,9 @@
 //! `regpipe_loops` must generate identical loops for identical seeds on every
 //! platform, and the determinism integration test enforces exactly that.
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 /// A source of pseudo-random 64-bit words.
 pub trait RngCore {
     /// Produce the next 64-bit word of the stream.
@@ -44,6 +47,7 @@ impl<R: RngCore> RngExt for R {}
 
 /// A range that knows how to sample itself.
 pub trait SampleRange<T> {
+    /// Draw one uniform value from the range using `rng`.
     fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
@@ -89,6 +93,7 @@ impl SampleRange<f32> for core::ops::Range<f32> {
 
 /// Full-domain sampling for primitives, backing [`RngExt::random`].
 pub trait Standard {
+    /// Draw one value over the type's whole domain using `rng`.
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 

@@ -44,6 +44,9 @@
 //! # Ok::<(), regpipe_ddg::DdgError>(())
 //! ```
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 mod best_of_all;
 mod compile;
 mod increase_ii;

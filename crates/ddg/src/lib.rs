@@ -15,7 +15,7 @@
 //! * [`DdgBuilder`] — ergonomic construction of loop bodies.
 //! * [`algo`] — Tarjan SCCs (recurrence detection), topological orders,
 //!   elementary-circuit enumeration (Johnson) and reachability.
-//! * [`dot`] — Graphviz export for debugging and documentation.
+//! * [`to_dot`] — Graphviz export for debugging and documentation.
 //!
 //! # Example
 //!
@@ -41,6 +41,9 @@
 //! assert!(regpipe_ddg::algo::recurrences(&ddg).is_empty()); // no cycles
 //! # Ok::<(), regpipe_ddg::DdgError>(())
 //! ```
+
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
 
 pub mod algo;
 mod builder;

@@ -1,25 +1,49 @@
 //! A plain-text interchange format for dependence graphs.
 //!
-//! One declaration per line; `#` starts a comment. The format is designed
-//! for loop corpora on disk and for the `regpipe` CLI:
+//! This module is the `.ddg` frontend: every loop that enters `regpipe`
+//! from disk — single files via `regpipe compile`, whole corpus
+//! directories via `regpipe suite --corpus` — goes through [`parse`].
+//! The full grammar is specified in `docs/formats.md` (EBNF plus a worked
+//! example); this doc comment and that spec are kept in agreement.
+//!
+//! One declaration per line; `#` starts a comment that runs to the end of
+//! the line. The declarations are:
 //!
 //! ```text
-//! loop fig2
-//! op Ld load
+//! loop fig2                  # loop name (optional; default "anonymous")
+//! op Ld load                 # operation: name + kind
 //! op mul1 mul
 //! op add1 add
 //! op St store
-//! edge Ld -> mul1 reg 0
+//! edge Ld -> mul1 reg 0      # dependence: source -> target kind distance
 //! edge Ld -> add1 reg 3
 //! edge mul1 -> add1 reg 0
 //! edge add1 -> St reg 0
-//! inv a uses mul1
+//! inv a uses mul1            # loop-invariant value and its consumers
+//! nospill Ld                 # forbid spilling the value Ld defines
 //! ```
 //!
-//! Edge kinds are `reg`, `mem`, `ord`; a trailing integer is the dependence
-//! distance (default 0); `reg!` declares a bonded edge and `reg!+k` a bond
-//! staggered by `k` cycles. Op names must be unique within a loop and must
-//! not contain whitespace.
+//! Op kinds are `load` (alias `ld`), `store` (alias `st`), `add`, `mul`,
+//! `div`, `sqrt`, `copy`. Edge kinds are `reg`, `mem`, `ord`; the trailing
+//! integer is the dependence distance in iterations (default 0); `reg!`
+//! declares a bonded edge and `reg!+k` a bond staggered by `k` cycles.
+//! Op names must be unique within a loop and must not contain whitespace.
+//!
+//! [`format()`](fn@format) renders a graph in the same syntax, and the two functions
+//! round-trip — parse, print, parse again and the graphs agree:
+//!
+//! ```
+//! use regpipe_ddg::textfmt::{format, parse};
+//!
+//! let text = "loop l\nop a load\nop b add\nop c store\n\
+//!             edge a -> b reg 2\nedge b -> c reg 0\ninv k uses b\n";
+//! let once = parse(text)?;
+//! let again = parse(&format(&once))?;
+//! assert_eq!(format(&once), format(&again));
+//! assert_eq!(once.num_ops(), again.num_ops());
+//! assert_eq!(once.max_distance(), again.max_distance());
+//! # Ok::<(), regpipe_ddg::textfmt::ParseError>(())
+//! ```
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -30,18 +54,36 @@ use crate::graph::Ddg;
 use crate::op::{OpId, OpKind};
 use crate::validate::DdgError;
 
-/// A parse failure, with the 1-based line number.
+/// A parse failure, with the 1-based line number and (when the text came
+/// from disk) the offending file.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
-    /// Line where the problem was found.
+    /// The file being parsed, if known (set by [`parse_named`]). Corpus
+    /// loaders must populate this so a bad file in a thousand-loop
+    /// directory is actionable.
+    pub file: Option<String>,
+    /// Line where the problem was found (0 for whole-input problems such
+    /// as validation failures).
     pub line: usize,
     /// What went wrong.
     pub message: String,
 }
 
+impl ParseError {
+    /// Attaches the source file name, making the rendered message
+    /// `file:line: message` instead of `line N: message`.
+    pub fn with_file(mut self, file: impl Into<String>) -> Self {
+        self.file = Some(file.into());
+        self
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match &self.file {
+            Some(file) => write!(f, "{}:{}: {}", file, self.line, self.message),
+            None => write!(f, "line {}: {}", self.line, self.message),
+        }
     }
 }
 
@@ -49,7 +91,7 @@ impl Error for ParseError {}
 
 impl From<(usize, String)> for ParseError {
     fn from((line, message): (usize, String)) -> Self {
-        ParseError { line, message }
+        ParseError { file: None, line, message }
     }
 }
 
@@ -89,6 +131,19 @@ pub fn format(ddg: &Ddg) -> String {
         }
     }
     out
+}
+
+/// [`parse`], with the source file name attached to any error.
+///
+/// This is the entry point disk frontends (the CLI, the corpus loader)
+/// must use: the rendered error then reads `file:line: message`, which is
+/// what makes a bad file in a large corpus directory actionable.
+///
+/// # Errors
+///
+/// As [`parse`], with [`ParseError::file`] set to `file`.
+pub fn parse_named(text: &str, file: impl Into<String>) -> Result<Ddg, ParseError> {
+    parse(text).map_err(|e| e.with_file(file))
 }
 
 /// Parses the text format into a validated graph.
@@ -219,7 +274,11 @@ pub fn parse(text: &str) -> Result<Ddg, ParseError> {
         }
     }
     let g = g.ok_or_else(|| (0usize, "empty input".to_string()))?;
-    g.validate().map_err(|e: DdgError| ParseError { line: 0, message: e.to_string() })?;
+    g.validate().map_err(|e: DdgError| ParseError {
+        file: None,
+        line: 0,
+        message: e.to_string(),
+    })?;
     Ok(g)
 }
 
@@ -248,9 +307,17 @@ fn kind_name(k: OpKind) -> &'static str {
     }
 }
 
-/// Replaces whitespace in names so they survive a round trip.
+/// Replaces whitespace and `#` in names so they survive a round trip
+/// (whitespace would split the token, `#` would start a comment); an
+/// empty name becomes `_` so declarations keep their arity.
 fn sanitize(name: &str) -> String {
-    name.split_whitespace().collect::<Vec<_>>().join("_")
+    let cleaned: String =
+        name.chars().map(|c| if c.is_whitespace() || c == '#' { '_' } else { c }).collect();
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
 }
 
 #[cfg(test)]
@@ -324,11 +391,31 @@ inv a uses mul1
         assert!(g2.is_value_marked_non_spillable(OpId::new(0)));
     }
 
+    /// Regression: errors from disk-backed parses used to render only a
+    /// line number ("line 3: ..."), leaving the user to guess which of a
+    /// corpus directory's files was broken. [`parse_named`] must stamp the
+    /// file onto the error and the rendered message must lead with it.
+    #[test]
+    fn errors_from_named_parses_render_the_file_path() {
+        let err =
+            parse_named("loop x\nop a add\nedge a -> b reg 0\n", "corpus/bad.ddg").unwrap_err();
+        assert_eq!(err.file.as_deref(), Some("corpus/bad.ddg"));
+        assert_eq!(err.line, 3);
+        assert_eq!(err.to_string(), "corpus/bad.ddg:3: unknown op 'b'");
+        // Validation failures (line 0) also carry the file.
+        let err = parse_named("", "empty.ddg").unwrap_err();
+        assert_eq!(err.to_string(), "empty.ddg:0: empty input");
+        // A successful named parse is just a parse.
+        assert!(parse_named("loop x\nop a add\n", "ok.ddg").is_ok());
+    }
+
     #[test]
     fn errors_carry_line_numbers() {
         let err = parse("loop x\nop a add\nedge a -> b reg 0\n").unwrap_err();
         assert_eq!(err.line, 3);
         assert!(err.message.contains("unknown op 'b'"));
+        assert_eq!(err.file, None);
+        assert_eq!(err.to_string(), "line 3: unknown op 'b'");
 
         let err = parse("loop x\nop a wibble\n").unwrap_err();
         assert_eq!(err.line, 2);
@@ -350,6 +437,20 @@ inv a uses mul1
     fn comments_and_blank_lines_are_ignored() {
         let g = parse("\n# hi\nloop l # trailing\nop a add # yes\n").unwrap();
         assert_eq!(g.num_ops(), 1);
+    }
+
+    /// Regression: a `#` inside an op or loop name used to truncate the
+    /// rendered line at the comment marker, breaking the round trip.
+    #[test]
+    fn names_with_comment_markers_are_sanitized() {
+        let mut b = DdgBuilder::new("l#1");
+        let a = b.add_op(OpKind::Load, "ld#x");
+        let s = b.add_op(OpKind::Store, "st");
+        b.reg(a, s);
+        let g2 = parse(&format(&b.build().unwrap())).unwrap();
+        assert_eq!(g2.name(), "l_1");
+        assert_eq!(g2.op(OpId::new(0)).name(), "ld_x");
+        assert_eq!(g2.num_edges(), 1);
     }
 
     #[test]

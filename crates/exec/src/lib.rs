@@ -50,6 +50,9 @@
 //! assert_eq!(report.to_json(false), sequential.to_json(false));
 //! ```
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 mod batch;
 mod jobs;
 pub mod json;

@@ -1,0 +1,347 @@
+//! On-disk loop corpora: directories of `.ddg` files (plus an optional
+//! `.mach` machine description) loaded into [`BenchLoop`]s.
+//!
+//! This is the ingestion side of the workload funnel: the evaluation no
+//! longer has to run over the compiled-in synthetic suite — any
+//! externally supplied kernel set in the text formats of
+//! [`regpipe_ddg::textfmt`] and [`regpipe_machine::textfmt`] flows
+//! through the same batch engine (`regpipe suite --corpus <dir>`).
+//!
+//! A corpus directory contains:
+//!
+//! * any number of `*.ddg` loop files, each optionally carrying a
+//!   `# weight <n>` comment giving the loop's dynamic execution weight
+//!   (default 1) — exactly what [`write_corpus`] and `regpipe gen` emit;
+//! * at most one `*.mach` file naming the machine the corpus is meant
+//!   for (callers may still override it);
+//! * anything else, which is ignored.
+//!
+//! Loops are ordered by file name (byte-wise), so a corpus loads
+//! identically on every platform. Errors are collected **per file with
+//! file and line** — one bad loop in a thousand-file corpus names
+//! itself rather than aborting the load with a bare line number.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use regpipe_ddg::textfmt;
+use regpipe_machine::{textfmt as machfmt, MachineConfig};
+
+use crate::BenchLoop;
+
+/// A loaded corpus: the loops in file-name order, plus the machine
+/// description if the directory carried one.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// The loops, ordered by file name.
+    pub loops: Vec<BenchLoop>,
+    /// The machine from the directory's `.mach` file, if present.
+    pub machine: Option<MachineConfig>,
+}
+
+/// One problem with one corpus file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CorpusFileError {
+    /// Path of the offending file (as given, i.e. relative to the caller's
+    /// working directory when the corpus path was relative).
+    pub file: String,
+    /// 1-based line, or 0 for whole-file problems (I/O, duplicates).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CorpusFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+/// Everything wrong with a corpus directory, one entry per file problem.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CorpusError {
+    /// The per-file problems, in file-name order.
+    pub errors: Vec<CorpusFileError>,
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for CorpusError {}
+
+/// Loads every `.ddg` (and the optional `.mach`) file under `dir`.
+///
+/// The load is total: all files are visited even after a failure, so the
+/// returned error lists **every** broken file at once.
+///
+/// # Errors
+///
+/// [`CorpusError`] naming file and line for each problem: unreadable
+/// directory or file, malformed loop or machine text, a bad `# weight`
+/// header, more than one `.mach` file, or a directory with no `.ddg`
+/// files at all.
+pub fn load_corpus(dir: impl AsRef<Path>) -> Result<Corpus, CorpusError> {
+    let dir = dir.as_ref();
+    let whole_dir = |message: String| CorpusError {
+        errors: vec![CorpusFileError { file: dir.display().to_string(), line: 0, message }],
+    };
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => return Err(whole_dir(format!("cannot read corpus directory: {e}"))),
+    };
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries {
+        let entry = match entry {
+            Ok(entry) => entry,
+            Err(e) => return Err(whole_dir(format!("cannot read corpus directory: {e}"))),
+        };
+        if let Some(name) = entry.file_name().to_str() {
+            if name.ends_with(".ddg") || name.ends_with(".mach") {
+                names.push(name.to_string());
+            }
+        }
+    }
+    // Byte-wise name order: the corpus loads in the same loop order on
+    // every platform, which the deterministic batch reports rely on.
+    names.sort_unstable();
+
+    let mut loops = Vec::new();
+    let mut machine: Option<(String, MachineConfig)> = None;
+    let mut errors: Vec<CorpusFileError> = Vec::new();
+    // Loop name -> defining file. Duplicate names would make report rows
+    // indistinguishable and collide on a write_corpus round trip.
+    let mut loop_names: HashMap<String, String> = HashMap::new();
+    for name in &names {
+        let path = dir.join(name);
+        let file = path.display().to_string();
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                errors.push(CorpusFileError {
+                    file,
+                    line: 0,
+                    message: format!("cannot read file: {e}"),
+                });
+                continue;
+            }
+        };
+        if name.ends_with(".mach") {
+            match machfmt::parse_named(&text, &file) {
+                Ok(m) => match &machine {
+                    None => machine = Some((file, m)),
+                    Some((first, _)) => errors.push(CorpusFileError {
+                        file,
+                        line: 0,
+                        message: format!(
+                            "more than one machine description (already saw {first})"
+                        ),
+                    }),
+                },
+                Err(e) => {
+                    errors.push(CorpusFileError { file, line: e.line, message: e.message })
+                }
+            }
+            continue;
+        }
+        match parse_weight_header(&text) {
+            Ok(weight) => match textfmt::parse_named(&text, &file) {
+                Ok(ddg) => {
+                    let loop_name = ddg.name().to_string();
+                    match loop_names.get(&loop_name) {
+                        None => {
+                            loop_names.insert(loop_name.clone(), file);
+                            loops.push(BenchLoop { name: loop_name, ddg, weight });
+                        }
+                        Some(first) => errors.push(CorpusFileError {
+                            file,
+                            line: 0,
+                            message: format!(
+                                "duplicate loop name '{loop_name}' (already defined in {first})"
+                            ),
+                        }),
+                    }
+                }
+                Err(e) => {
+                    errors.push(CorpusFileError { file, line: e.line, message: e.message });
+                }
+            },
+            Err((line, message)) => errors.push(CorpusFileError { file, line, message }),
+        }
+    }
+    if loops.is_empty() && errors.is_empty() {
+        return Err(whole_dir("no .ddg files in corpus directory".to_string()));
+    }
+    if errors.is_empty() {
+        Ok(Corpus { loops, machine: machine.map(|(_, m)| m) })
+    } else {
+        Err(CorpusError { errors })
+    }
+}
+
+/// Writes `loops` into `dir` as `<loop-name>.ddg` files with `# weight`
+/// headers — the inverse of [`load_corpus`], and the writer behind
+/// `regpipe gen`.
+///
+/// # Errors
+///
+/// The failing path and the I/O problem.
+pub fn write_corpus(dir: impl AsRef<Path>, loops: &[BenchLoop]) -> Result<(), String> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    for l in loops {
+        let path = dir.join(format!("{}.ddg", l.name));
+        let mut text = format!("# weight {}\n", l.weight);
+        text.push_str(&textfmt::format(&l.ddg));
+        fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// Extracts the loop weight from a `# weight <n>` comment (default 1).
+///
+/// Only comments whose first word is exactly `weight` are interpreted;
+/// the first such comment wins. A malformed count is an error — a typo'd
+/// weight must not silently become 1.
+fn parse_weight_header(text: &str) -> Result<u64, (usize, String)> {
+    for (idx, raw) in text.lines().enumerate() {
+        let Some(comment) = raw.trim_start().strip_prefix('#') else { continue };
+        let mut words = comment.split_whitespace();
+        if words.next() != Some("weight") {
+            continue;
+        }
+        let line_no = idx + 1;
+        let raw_count = words.next().unwrap_or("");
+        return match raw_count.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => {
+                Err((line_no, format!("weight must be a positive integer, got '{raw_count}'")))
+            }
+        };
+    }
+    Ok(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenParams};
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("regpipe-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = scratch("roundtrip");
+        let loops = generate(21, 12, &GenParams::default()).unwrap();
+        write_corpus(&dir, &loops).unwrap();
+        let corpus = load_corpus(&dir).unwrap();
+        assert_eq!(corpus.loops.len(), 12);
+        assert!(corpus.machine.is_none());
+        for (orig, loaded) in loops.iter().zip(&corpus.loops) {
+            assert_eq!(orig.name, loaded.name);
+            assert_eq!(orig.weight, loaded.weight);
+            assert_eq!(textfmt::format(&orig.ddg), textfmt::format(&loaded.ddg));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn machine_file_is_picked_up() {
+        let dir = scratch("mach");
+        write_corpus(&dir, &generate(3, 2, &GenParams::default()).unwrap()).unwrap();
+        fs::write(dir.join("machine.mach"), "machine M\nunits mem 3\n").unwrap();
+        let corpus = load_corpus(&dir).unwrap();
+        let m = corpus.machine.expect("machine present");
+        assert_eq!(m.name(), "M");
+        assert_eq!(m.units(regpipe_machine::FuClass::Memory), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_name_every_broken_file_with_lines() {
+        let dir = scratch("errors");
+        write_corpus(&dir, &generate(4, 1, &GenParams::default()).unwrap()).unwrap();
+        fs::write(dir.join("bad_a.ddg"), "loop a\nop x add\nedge x -> y reg 0\n").unwrap();
+        fs::write(dir.join("bad_b.ddg"), "# weight nope\nloop b\nop x add\n").unwrap();
+        fs::write(dir.join("bad_c.mach"), "units warp 9\n").unwrap();
+        let err = load_corpus(&dir).unwrap_err();
+        assert_eq!(err.errors.len(), 3, "{err}");
+        let rendered = err.to_string();
+        for needle in [
+            "bad_a.ddg:3: unknown op 'y'",
+            "bad_b.ddg:1: weight must be a positive integer, got 'nope'",
+            "bad_c.mach:1: unknown class 'warp'",
+        ] {
+            assert!(rendered.contains(needle), "missing {needle:?} in:\n{rendered}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: two files declaring the same `loop` name used to load
+    /// silently, making report rows ambiguous and colliding on a
+    /// write_corpus round trip.
+    #[test]
+    fn duplicate_loop_names_across_files_are_errors() {
+        let dir = scratch("dup-names");
+        fs::write(dir.join("a.ddg"), "loop k\nop x add\n").unwrap();
+        fs::write(dir.join("b.ddg"), "loop k\nop y mul\n").unwrap();
+        let err = load_corpus(&dir).unwrap_err();
+        assert_eq!(err.errors.len(), 1, "{err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("b.ddg"), "later file is the duplicate: {rendered}");
+        assert!(
+            rendered.contains("duplicate loop name 'k' (already defined in")
+                && rendered.contains("a.ddg"),
+            "{rendered}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_machines_and_empty_directories_are_errors() {
+        let dir = scratch("dups");
+        fs::write(dir.join("a.mach"), "machine A\n").unwrap();
+        fs::write(dir.join("b.mach"), "machine B\n").unwrap();
+        let err = load_corpus(&dir).unwrap_err();
+        assert!(err.to_string().contains("more than one machine description"), "{err}");
+
+        let empty = scratch("empty");
+        let err = load_corpus(&empty).unwrap_err();
+        assert!(err.to_string().contains("no .ddg files"), "{err}");
+
+        let missing = empty.join("does-not-exist");
+        let err = load_corpus(&missing).unwrap_err();
+        assert!(err.to_string().contains("cannot read corpus directory"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&empty);
+    }
+
+    #[test]
+    fn weight_header_rules() {
+        assert_eq!(parse_weight_header("# weight 250\nloop l\n"), Ok(250));
+        assert_eq!(parse_weight_header("loop l\n# weight 3\n"), Ok(3), "any line works");
+        assert_eq!(parse_weight_header("# weighty remark\nloop l\n"), Ok(1));
+        assert_eq!(parse_weight_header("loop l\n"), Ok(1));
+        assert!(parse_weight_header("# weight 0\n").is_err());
+        assert!(parse_weight_header("# weight\n").is_err());
+        // First weight comment wins.
+        assert_eq!(parse_weight_header("# weight 5\n# weight 9\n"), Ok(5));
+    }
+}

@@ -22,6 +22,17 @@
 //! the paper discusses by name: the running example of Figure 2 and
 //! APSI-47/APSI-50 stand-ins with the Figure 4 convergence behaviours.
 //!
+//! Beyond the fixed suite, the crate opens the workload funnel to
+//! arbitrary corpora:
+//!
+//! * [`gen`] — a seeded synthetic-kernel generator ([`generate`]) with
+//!   explicit knobs ([`GenParams`]: op count, recurrence density,
+//!   invariant count, weight distribution) whose output replays
+//!   byte-identically per seed;
+//! * [`corpus`] — on-disk corpus I/O ([`load_corpus`] / [`write_corpus`]):
+//!   a directory of `.ddg` files plus an optional `.mach` machine
+//!   description, with per-file error reporting.
+//!
 //! ```
 //! use regpipe_loops::{default_suite, suite};
 //!
@@ -32,11 +43,18 @@
 //! assert_eq!(default_suite().len(), 1258);
 //! ```
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 mod archetypes;
+pub mod corpus;
+pub mod gen;
 pub mod kernels;
 pub mod paper;
 mod suite;
 
+pub use corpus::{load_corpus, write_corpus, Corpus, CorpusError, CorpusFileError};
+pub use gen::{generate, GenParams, WeightDist};
 pub use suite::{
     default_suite, parse_suite_size, suite, suite_size_from_env, BenchLoop, DEFAULT_SUITE_SIZE,
 };

@@ -180,6 +180,43 @@ impl MachineConfig {
         &self.name
     }
 
+    /// Whether this is a [`MachineConfig::uniform`] machine (every op runs
+    /// on the universal class).
+    pub fn is_uniform(&self) -> bool {
+        self.uniform
+    }
+
+    /// Overrides the unit count of `class`.
+    ///
+    /// The machine-description text format (see [`crate::textfmt`]) builds
+    /// machines by applying overrides like this one to the
+    /// [`MachineConfig::custom`] baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero — every class of a 4-class machine must
+    /// exist (zero-unit classes would make [`crate::res_mii`] undefined
+    /// for loops using them).
+    pub fn set_units(&mut self, class: FuClass, count: u32) {
+        assert!(count > 0, "unit counts must be positive");
+        self.units[class.index()] = count;
+    }
+
+    /// Overrides the latency of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero.
+    pub fn set_latency(&mut self, kind: OpKind, latency: u32) {
+        assert!(latency > 0, "latencies must be positive");
+        self.latency[kind.index()] = latency;
+    }
+
+    /// Overrides the pipelining flag of `class`.
+    pub fn set_pipelined(&mut self, class: FuClass, pipelined: bool) {
+        self.pipelined[class.index()] = pipelined;
+    }
+
     /// Number of functional-unit classes that exist on this machine.
     pub fn num_classes(&self) -> usize {
         FuClass::ALL.len()

@@ -13,6 +13,9 @@
 //!   units exist.
 //! * [`res_mii`] — the resource-constrained lower bound on the initiation
 //!   interval.
+//! * [`textfmt`] — the plain-text `.mach` machine-description format used
+//!   by on-disk loop corpora (`regpipe suite --corpus`), mirroring the
+//!   [`MachineConfig::custom`] parameters.
 //!
 //! # Example
 //!
@@ -35,8 +38,12 @@
 //! # Ok::<(), regpipe_ddg::DdgError>(())
 //! ```
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 mod config;
 mod mrt;
+pub mod textfmt;
 
 pub use config::{FuClass, MachineConfig};
 pub use mrt::Mrt;

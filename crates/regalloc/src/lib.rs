@@ -45,6 +45,9 @@
 //! # Ok::<(), regpipe_ddg::DdgError>(())
 //! ```
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 mod chart;
 mod lifetime;
 mod mve;

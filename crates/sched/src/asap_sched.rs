@@ -15,7 +15,7 @@ use crate::{fallback_max_ii, mii, SchedError, SchedRequest, Schedule, Scheduler}
 /// classical list-scheduling approach that maximizes distance between
 /// producers and consumers scheduled long after them — exactly the lifetime
 /// stretching that register-sensitive schedulers like HRMS avoid. The paper
-/// cites results with such a scheduler (its reference [21]) as the
+/// cites results with such a scheduler (its reference \[21\]) as the
 /// motivation for register-aware scheduling; `regpipe` ships it as the
 /// baseline for ablation experiments.
 #[derive(Clone, Copy, Default, Debug)]

@@ -38,7 +38,7 @@ const NEG_INF: i64 = i64::MIN / 4;
 
 /// The register-sensitive HRMS/Swing-style modulo scheduler.
 ///
-/// See the [module documentation](self) for the algorithm outline.
+/// See the [crate documentation](crate) for the algorithm outline.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct HrmsScheduler {
     _private: (),

@@ -48,6 +48,9 @@
 //! # Ok::<(), regpipe_ddg::DdgError>(())
 //! ```
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 mod analysis;
 mod asap_sched;
 mod groups;

@@ -58,6 +58,9 @@
 //! # Ok::<(), regpipe_ddg::DdgError>(())
 //! ```
 
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
 mod candidate;
 mod dce;
 mod rewrite;

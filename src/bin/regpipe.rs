@@ -1,9 +1,12 @@
 //! The `regpipe` command-line tool: compile loop dependence graphs under a
-//! register budget from the terminal, and run the batch evaluation suite.
+//! register budget from the terminal, run the batch evaluation suite over
+//! the built-in synthetic loops or an on-disk corpus, and generate or
+//! validate such corpora.
 //!
 //! Run `regpipe help` (or `regpipe help <command>`) for the full usage;
-//! the same text is kept in [`usage`] below. The input format is
-//! documented in `regpipe_ddg::textfmt`.
+//! the same text is kept in [`usage`] below. The input formats are
+//! specified in `docs/formats.md` (`regpipe_ddg::textfmt` for loops,
+//! `regpipe_machine::textfmt` for machine descriptions).
 
 use std::fs;
 use std::process::ExitCode;
@@ -11,7 +14,10 @@ use std::process::ExitCode;
 use regpipe::core::{compile, CompileOptions};
 use regpipe::ddg::{textfmt, to_dot, Ddg};
 use regpipe::exec::{parse_strategy, resolve_jobs, run_batch, strategy_slug, BatchRequest};
-use regpipe::loops::{suite, suite_size_from_env};
+use regpipe::loops::{
+    generate, load_corpus, suite, suite_size_from_env, write_corpus, BenchLoop, GenParams,
+    WeightDist,
+};
 use regpipe::machine::MachineConfig;
 use regpipe::regalloc::allocate;
 use regpipe::sched::{mii, rec_mii, HrmsScheduler, PipelinedLoop, SchedRequest, Scheduler};
@@ -23,6 +29,8 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         // Help goes to stdout and succeeds; `regpipe help <command>`
         // narrows to one subcommand.
         Some("--help" | "-h" | "help") | None => {
@@ -62,6 +70,10 @@ regpipe suite [options]
   independent compile call, fanned out across worker threads with
   deterministic (thread-count-independent) results, and the report is
   written as machine-readable JSON.
+  --corpus <dir>    run an on-disk corpus (see `regpipe gen`/`check`)
+                    instead of the built-in synthetic suite; a .mach
+                    file in the corpus sets the machine unless --machine
+                    is given explicitly
   --size <n>        suite size  (default: REGPIPE_SUITE_SIZE, then 1258)
   --seed <s>        suite seed  (default 49626)
   --jobs <n>        worker threads (default: REGPIPE_JOBS, then all cores)
@@ -71,23 +83,49 @@ regpipe suite [options]
   --out <file>      report path                        (default BENCH_suite.json)
 
 regpipe suite --dir <dir> [--size N] [--seed S]
-  Emit the synthetic corpus as .ddg files instead of running it
-  (default size 100).
+  Emit the archetype-mix synthetic suite as .ddg files instead of
+  running it (default size 100). For knob-controlled corpora use
+  `regpipe gen`.
+";
+    let gen_ = "\
+regpipe gen --out <dir> [options]
+  Materialize a synthetic-kernel corpus as .ddg files (with # weight
+  headers). Deterministic: the same seed and knobs reproduce the corpus
+  byte-for-byte, and a larger --count extends a smaller one in place.
+  --out <dir>       output directory                   (required)
+  --seed <s>        generator seed                     (default 49626)
+  --count <k>       number of kernels                  (default 100)
+  --min-ops <n>     fewest ops per kernel              (default 4)
+  --max-ops <n>     most ops per kernel                (default 24)
+  --rec-density <f> recurrence probability per op, 0-1 (default 0.25)
+  --invariants <n>  max loop invariants per kernel     (default 4)
+  --weights <d>     const:<w> | uniform:<lo>,<hi> | log:<lo>,<hi>
+                    (default log:2,4.2 — heavy-tailed 10^U(lo,hi))
+";
+    let check_ = "\
+regpipe check <dir>
+  Validate a corpus directory without compiling: parse every .ddg and
+  .mach file, reporting every problem as file:line: message. Exits 0
+  only if the whole corpus is well-formed.
 ";
     match topic {
         Some("info") => info.to_string(),
         Some("compile") => compile_.to_string(),
         Some("suite") => suite_.to_string(),
+        Some("gen") => gen_.to_string(),
+        Some("check") => check_.to_string(),
         _ => format!(
-            "usage: regpipe <info|compile|suite|help> ...\n\n{info}\n{compile_}\n{suite_}\n\
-             The .ddg input format is documented in `regpipe_ddg::textfmt`.\n"
+            "usage: regpipe <info|compile|suite|gen|check|help> ...\n\n\
+             {info}\n{compile_}\n{suite_}\n{gen_}\n{check_}\n\
+             The on-disk formats (.ddg loops, .mach machine descriptions, corpus\n\
+             directory layout) are specified in docs/formats.md.\n"
         ),
     }
 }
 
 fn load(path: &str) -> Result<Ddg, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    textfmt::parse(&text).map_err(|e| format!("{path}: {e}"))
+    textfmt::parse_named(&text, path).map_err(|e| e.to_string())
 }
 
 fn parse_machine(spec: &str) -> Result<MachineConfig, String> {
@@ -126,6 +164,12 @@ impl<'a> Flags<'a> {
             .position(|a| a == key)
             .and_then(|i| self.args.get(i + 1))
             .map(String::as_str)
+    }
+
+    /// Whether `key` appears at all — [`Flags::get`] cannot distinguish a
+    /// missing flag from a flag missing its value.
+    fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
     }
 
     fn positional(&self) -> Option<&'a str> {
@@ -235,6 +279,31 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         .unwrap_or("49626") // 0xC1DA
         .parse()
         .map_err(|_| "bad --seed value".to_string())?;
+    if flags.has("--corpus") {
+        // External corpus: the loops (and possibly the machine) come from
+        // disk; --size/--seed apply to the synthetic suite only, so
+        // accepting them here would silently run a different workload
+        // than the user asked for.
+        let dir = flags.get("--corpus").ok_or("--corpus needs a directory")?;
+        if explicit_size.is_some() {
+            return Err("--size does not apply to --corpus (the directory decides)".into());
+        }
+        if flags.has("--seed") {
+            return Err("--seed does not apply to --corpus (the directory decides)".into());
+        }
+        if flags.has("--dir") {
+            return Err("--dir (corpus emission) cannot be combined with --corpus".into());
+        }
+        let corpus = load_corpus(dir).map_err(|e| format!("corpus {dir} is invalid:\n{e}"))?;
+        // An explicit --machine wins over the corpus's .mach file.
+        let machine = match (flags.get("--machine"), corpus.machine) {
+            (Some(spec), _) => parse_machine(spec)?,
+            (None, Some(m)) => m,
+            (None, None) => MachineConfig::p2l4(),
+        };
+        let label = format!("corpus {dir}");
+        return run_suite(&flags, machine, corpus.loops, &label);
+    }
     match flags.get("--dir") {
         // Corpus emission keeps its historical default of 100 files.
         Some(dir) => emit_corpus(dir, seed, explicit_size.unwrap_or(100)),
@@ -245,28 +314,28 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
                 Some(n) => n,
                 None => suite_size_from_env()?,
             };
-            run_suite(&flags, seed, size)
+            let machine = parse_machine(flags.get("--machine").unwrap_or("p2l4"))?;
+            let label = format!("seed {seed}");
+            run_suite(&flags, machine, suite(seed, size), &label)
         }
     }
 }
 
-/// `suite --dir`: emit the corpus as `.ddg` files.
+/// `suite --dir`: emit the archetype-mix suite as `.ddg` files.
 fn emit_corpus(dir: &str, seed: u64, size: usize) -> Result<(), String> {
-    fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
     let loops = suite(seed, size);
-    for l in &loops {
-        let path = format!("{dir}/{}.ddg", l.name);
-        let mut text = format!("# weight {}\n", l.weight);
-        text.push_str(&textfmt::format(&l.ddg));
-        fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
-    }
+    write_corpus(dir, &loops)?;
     println!("wrote {} loops to {dir}/", loops.len());
     Ok(())
 }
 
-/// `suite` without `--dir`: run every cell through the batch engine.
-fn run_suite(flags: &Flags<'_>, seed: u64, size: usize) -> Result<(), String> {
-    let machine = parse_machine(flags.get("--machine").unwrap_or("p2l4"))?;
+/// `suite` run mode: every cell through the batch engine.
+fn run_suite(
+    flags: &Flags<'_>,
+    machine: MachineConfig,
+    loops: Vec<BenchLoop>,
+    label: &str,
+) -> Result<(), String> {
     let jobs = resolve_jobs(flags.get("--jobs"))?;
     let budgets = flags
         .get("--budgets")
@@ -282,13 +351,12 @@ fn run_suite(flags: &Flags<'_>, seed: u64, size: usize) -> Result<(), String> {
         .collect::<Result<Vec<_>, _>>()?;
     let out_path = flags.get("--out").unwrap_or("BENCH_suite.json");
 
-    let loops = suite(seed, size);
     let req =
         BatchRequest { machine, budgets, strategies, options: CompileOptions::default(), jobs };
     let report = run_batch(&loops, &req);
 
     println!(
-        "=== suite evaluation: {} loops (seed {seed}), machine {} ===",
+        "=== suite evaluation: {} loops ({label}), machine {} ===",
         report.suite_size, report.machine
     );
     println!(
@@ -322,5 +390,109 @@ fn run_suite(flags: &Flags<'_>, seed: u64, size: usize) -> Result<(), String> {
         report.jobs,
         report.total_wall.as_secs_f64()
     );
+    Ok(())
+}
+
+/// Parses a `--weights` spec: `const:<w>`, `uniform:<lo>,<hi>`, or
+/// `log:<lo>,<hi>`.
+fn parse_weights(spec: &str) -> Result<WeightDist, String> {
+    fn pair<'a>(rest: &'a str, kind: &str) -> Result<(&'a str, &'a str), String> {
+        rest.split_once(',')
+            .map(|(a, b)| (a.trim(), b.trim()))
+            .ok_or_else(|| format!("--weights {kind}: expected '{kind}:<lo>,<hi>'"))
+    }
+    let (kind, rest) =
+        spec.split_once(':').ok_or_else(|| format!("bad --weights spec '{spec}'"))?;
+    match kind {
+        "const" => {
+            let w: u64 = rest.parse().map_err(|_| format!("bad constant weight '{rest}'"))?;
+            Ok(WeightDist::Constant(w))
+        }
+        "uniform" => {
+            let (lo, hi) = pair(rest, kind)?;
+            let lo: u64 = lo.parse().map_err(|_| format!("bad weight bound '{lo}'"))?;
+            let hi: u64 = hi.parse().map_err(|_| format!("bad weight bound '{hi}'"))?;
+            Ok(WeightDist::Uniform { lo, hi })
+        }
+        "log" => {
+            let (lo, hi) = pair(rest, kind)?;
+            let lo_exp: f64 = lo.parse().map_err(|_| format!("bad exponent '{lo}'"))?;
+            let hi_exp: f64 = hi.parse().map_err(|_| format!("bad exponent '{hi}'"))?;
+            Ok(WeightDist::LogUniform { lo_exp, hi_exp })
+        }
+        other => Err(format!("unknown weight distribution '{other}'")),
+    }
+}
+
+/// `regpipe gen`: materialize a knob-controlled synthetic corpus on disk.
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let dir = flags.get("--out").ok_or("gen: missing --out directory")?;
+    let seed: u64 = flags
+        .get("--seed")
+        .unwrap_or("49626")
+        .parse()
+        .map_err(|_| "bad --seed value".to_string())?;
+    let count: usize = match flags.get("--count").unwrap_or("100").parse() {
+        Ok(n) if n > 0 => n,
+        _ => return Err("--count must be a positive integer".into()),
+    };
+    let defaults = GenParams::default();
+    let positive = |flag: &str, default: usize| -> Result<usize, String> {
+        match flags.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{flag} must be a positive integer, got '{raw}'")),
+        }
+    };
+    let params = GenParams {
+        min_ops: positive("--min-ops", defaults.min_ops)?,
+        max_ops: positive("--max-ops", defaults.max_ops)?,
+        recurrence_density: match flags.get("--rec-density") {
+            None => defaults.recurrence_density,
+            Some(raw) => raw.parse().map_err(|_| format!("bad --rec-density value '{raw}'"))?,
+        },
+        max_invariants: match flags.get("--invariants") {
+            None => defaults.max_invariants,
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--invariants must be an integer, got '{raw}'"))?,
+        },
+        weights: match flags.get("--weights") {
+            None => defaults.weights,
+            Some(spec) => parse_weights(spec)?,
+        },
+    };
+    let loops = generate(seed, count, &params)?;
+    write_corpus(dir, &loops)?;
+    println!("wrote {} kernels to {dir}/ (seed {seed})", loops.len());
+    Ok(())
+}
+
+/// `regpipe check`: validate a corpus directory without compiling.
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let dir = flags.positional().ok_or("check: missing corpus directory")?;
+    let corpus = match load_corpus(dir) {
+        Ok(corpus) => corpus,
+        Err(e) => {
+            for file_error in &e.errors {
+                eprintln!("{file_error}");
+            }
+            let n = e.errors.len();
+            return Err(format!("corpus {dir} has {n} error{}", if n == 1 { "" } else { "s" }));
+        }
+    };
+    let ops: usize = corpus.loops.iter().map(|l| l.ddg.num_ops()).sum();
+    let machine = corpus
+        .machine
+        .as_ref()
+        .map_or_else(|| "none (default applies)".to_string(), |m| m.to_string());
+    println!("corpus {dir}: OK");
+    println!("  loops:   {} ({ops} ops total)", corpus.loops.len());
+    println!("  machine: {machine}");
     Ok(())
 }

@@ -19,10 +19,17 @@
 //!   spilling (with the Max(LT) / Max(LT/Traf) heuristics and the two
 //!   scheduling-time accelerations), and their "best of all" combination.
 //! * [`loops`] — the synthetic benchmark suite standing in for the paper's
-//!   1258 Perfect Club loops, plus replicas of the paper's named loops.
+//!   1258 Perfect Club loops, replicas of the paper's named loops, the
+//!   seeded synthetic-kernel generator (`regpipe gen`), and on-disk corpus
+//!   I/O (`regpipe suite --corpus` / `regpipe check`).
 //! * [`exec`] — the deterministic multi-threaded batch-compilation engine
 //!   (`BatchRequest` → `BatchReport`) behind `regpipe suite` and the
 //!   `expt_*` harness, with its `BENCH_suite.json` report format.
+//!
+//! The on-disk interchange formats (`.ddg` loops, `.mach` machine
+//! descriptions, corpus directory layout) are specified in
+//! `docs/formats.md` and implemented by [`ddg::textfmt`] and
+//! [`machine::textfmt`]; `ARCHITECTURE.md` maps the crates and data flow.
 //!
 //! # Quickstart
 //!
@@ -38,6 +45,9 @@
 //! assert!(compiled.registers_used() <= 8);
 //! # Ok::<(), regpipe::core::CompileError>(())
 //! ```
+
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
 
 pub use regpipe_core as core;
 pub use regpipe_ddg as ddg;
@@ -56,6 +66,7 @@ pub mod prelude {
     };
     pub use regpipe_ddg::{Ddg, DdgBuilder, EdgeKind, OpId, OpKind};
     pub use regpipe_exec::{parallel_map, run_batch, BatchReport, BatchRequest};
+    pub use regpipe_loops::{generate, load_corpus, write_corpus, BenchLoop, GenParams};
     pub use regpipe_machine::MachineConfig;
     pub use regpipe_regalloc::{allocate, LifetimeAnalysis};
     pub use regpipe_sched::{mii, HrmsScheduler, Schedule, Scheduler};

@@ -180,6 +180,164 @@ fn suite_run_is_byte_identical_across_job_counts() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The new workload funnel end-to-end: `gen` materializes a corpus
+/// byte-reproducibly, `check` validates it, and `suite --corpus` compiles
+/// it with worker-count-independent results (ISSUE 3 acceptance).
+#[test]
+fn gen_check_and_suite_corpus_are_deterministic() {
+    let dir = scratch_dir("gen-corpus");
+    let corpus_a = dir.join("a");
+    let corpus_b = dir.join("b");
+    for corpus in [&corpus_a, &corpus_b] {
+        let out = run_ok({
+            let mut c = bin();
+            c.args(["gen", "--seed", "7", "--count", "20", "--out"]).arg(corpus);
+            c
+        });
+        assert_eq!(
+            String::from_utf8(out.stdout).unwrap(),
+            format!("wrote 20 kernels to {}/ (seed 7)\n", corpus.display())
+        );
+    }
+    // Same seed, same bytes, for every file of the corpus.
+    for i in 0..20 {
+        let name = format!("gen_{i:05}.ddg");
+        let a = fs::read_to_string(corpus_a.join(&name)).expect("corpus file");
+        let b = fs::read_to_string(corpus_b.join(&name)).expect("corpus file");
+        assert_eq!(a, b, "{name} differs between identical-seed runs");
+        assert!(a.starts_with("# weight "), "{name} carries a weight header");
+    }
+    // `check` accepts the generated corpus.
+    let out = run_ok({
+        let mut c = bin();
+        c.arg("check").arg(&corpus_a);
+        c
+    });
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("OK"), "{stdout}");
+    assert!(stdout.contains("loops:   20"), "{stdout}");
+    // `suite --corpus` is byte-identical across worker counts.
+    let mut reports = Vec::new();
+    for jobs in ["1", "4"] {
+        let json_path = dir.join(format!("report-{jobs}.json"));
+        run_ok({
+            let mut c = bin();
+            c.args(["suite", "--jobs", jobs, "--corpus"])
+                .arg(&corpus_a)
+                .arg("--out")
+                .arg(&json_path);
+            c
+        });
+        let report = fs::read_to_string(&json_path).expect("report emitted");
+        regpipe::exec::json::parse(&report).expect("report parses");
+        reports.push(report);
+    }
+    assert_eq!(reports[0], reports[1], "corpus BENCH_suite.json differs across --jobs");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A corpus's `.mach` file selects the machine; an explicit `--machine`
+/// flag still wins.
+#[test]
+fn corpus_machine_description_is_honoured() {
+    let dir = scratch_dir("corpus-mach");
+    let corpus = dir.join("c");
+    run_ok({
+        let mut c = bin();
+        c.args(["gen", "--seed", "3", "--count", "2", "--out"]).arg(&corpus);
+        c
+    });
+    fs::write(corpus.join("machine.mach"), "machine M9\nunits mem 2\nlatency add 9\n")
+        .expect("write mach");
+    let out = run_ok({
+        let mut c = bin();
+        c.args(["suite", "--jobs", "1", "--corpus"])
+            .arg(&corpus)
+            .arg("--out")
+            .arg(dir.join("r.json"));
+        c
+    });
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("machine M9"), "corpus machine used:\n{stdout}");
+    let out = run_ok({
+        let mut c = bin();
+        c.args(["suite", "--jobs", "1", "--machine", "p1l4", "--corpus"])
+            .arg(&corpus)
+            .arg("--out")
+            .arg(dir.join("r2.json"));
+        c
+    });
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("machine P1L4"), "--machine overrides corpus:\n{stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `check` on a broken corpus lists every problem as file:line: message
+/// and fails.
+#[test]
+fn check_reports_file_and_line_for_every_problem() {
+    let dir = scratch_dir("check-bad");
+    let corpus = dir.join("c");
+    run_ok({
+        let mut c = bin();
+        c.args(["gen", "--seed", "3", "--count", "2", "--out"]).arg(&corpus);
+        c
+    });
+    fs::write(corpus.join("broken.ddg"), "loop b\nop x add\nedge x -> y reg 0\n")
+        .expect("write bad ddg");
+    fs::write(corpus.join("m.mach"), "units warp 9\n").expect("write bad mach");
+    let out = bin().arg("check").arg(&corpus).output().expect("spawn regpipe");
+    assert!(!out.status.success(), "broken corpus must fail check");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("broken.ddg:3: unknown op 'y'"), "{stderr}");
+    assert!(stderr.contains("m.mach:1: unknown class 'warp'"), "{stderr}");
+    assert!(stderr.contains("has 2 errors"), "{stderr}");
+    // `suite --corpus` on the same directory fails with the same detail.
+    let out = bin().args(["suite", "--corpus"]).arg(&corpus).output().expect("spawn regpipe");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("broken.ddg:3"), "suite names files");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Generator knobs are validated eagerly with actionable messages.
+#[test]
+fn gen_rejects_bad_knobs() {
+    let dir = scratch_dir("gen-bad");
+    for (args, needle) in [
+        (&["gen"][..], "missing --out"),
+        (&["gen", "--out", "x", "--count", "0"], "--count"),
+        (&["gen", "--out", "x", "--min-ops", "9", "--max-ops", "4"], "max_ops"),
+        (&["gen", "--out", "x", "--rec-density", "1.5"], "recurrence_density"),
+        (&["gen", "--out", "x", "--weights", "zipf:3"], "unknown weight distribution"),
+    ] {
+        let mut c = bin();
+        c.args(args).current_dir(&dir);
+        let out = c.output().expect("spawn regpipe");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Regression: `suite --corpus` with no directory value (or with
+/// synthetic-suite-only flags) used to fall through to the built-in
+/// suite silently; it must be a hard error instead.
+#[test]
+fn suite_corpus_flag_misuse_is_an_error() {
+    for (args, needle) in [
+        (&["suite", "--corpus"][..], "--corpus needs a directory"),
+        (&["suite", "--corpus", "d", "--size", "5"], "--size does not apply"),
+        (&["suite", "--corpus", "d", "--seed", "9"], "--seed does not apply"),
+        (&["suite", "--corpus", "d", "--dir", "e"], "cannot be combined with --corpus"),
+    ] {
+        let out = bin().args(args).output().expect("spawn regpipe");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
+
 /// Strict flag validation: a bad `--jobs` or `--size` is a clean error.
 #[test]
 fn suite_rejects_bad_jobs_and_size() {
