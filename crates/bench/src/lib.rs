@@ -22,6 +22,10 @@
 // Every public item of this crate is documented; CI turns gaps into errors.
 #![warn(missing_docs)]
 
+mod compile_bench;
+
+pub use compile_bench::{run_compile_bench, CompileBenchConfig, CompileBenchReport, SizePoint};
+
 use std::num::NonZeroUsize;
 use std::time::Duration;
 

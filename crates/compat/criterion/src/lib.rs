@@ -152,6 +152,40 @@ impl Bencher {
     }
 }
 
+/// One timing result from [`measure`]: how many iterations ran and how long
+/// they took in total.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Iterations executed.
+    pub iters: u64,
+    /// Total wall time of those iterations, in nanoseconds.
+    pub total_nanos: u128,
+}
+
+impl Measurement {
+    /// Mean wall time per iteration, in nanoseconds.
+    pub fn mean_nanos(&self) -> u128 {
+        self.total_nanos / u128::from(self.iters.max(1))
+    }
+}
+
+/// Runs `f` through the harness's sampling loop and returns the measurement
+/// instead of printing it.
+///
+/// With `timed = false` the body runs exactly once (the quick mode bench
+/// binaries use under `cargo test`); with `timed = true` it runs the same
+/// ~200 ms sampling plan as [`Bencher::iter`]. This is the entry point for
+/// callers that consume timings programmatically — e.g. the `regpipe bench`
+/// subcommand building `BENCH_compile.json`.
+pub fn measure<O, F>(timed: bool, mut f: F) -> Measurement
+where
+    F: FnMut() -> O,
+{
+    let mut b = Bencher::new(!timed);
+    b.iter(&mut f);
+    Measurement { iters: b.iters, total_nanos: b.nanos }
+}
+
 /// Collect benchmark functions into a runnable group, as in criterion.
 #[macro_export]
 macro_rules! criterion_group {

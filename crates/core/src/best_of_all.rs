@@ -10,7 +10,7 @@
 use regpipe_ddg::Ddg;
 use regpipe_machine::MachineConfig;
 use regpipe_regalloc::AllocationResult;
-use regpipe_sched::{mii, HrmsScheduler, Schedule, Scheduler};
+use regpipe_sched::{HrmsScheduler, LoopAnalysis, Schedule, Scheduler};
 
 use crate::increase_ii::IncreaseIiDriver;
 use crate::spill_driver::{SpillDriver, SpillDriverOptions, SpillFailure, SpillOutcome};
@@ -89,16 +89,20 @@ impl<S: Scheduler + Clone> BestOfAllDriver<S> {
 
         // Binary search the unspilled loop in [MII, spill II]. Register
         // requirements are treated as monotonically non-increasing in II
-        // (true in the large; the paper makes the same assumption).
+        // (true in the large; the paper makes the same assumption). All
+        // probes target the same unspilled graph, so they share one
+        // analysis context instead of paying for groups/recurrence
+        // bounds/reachability once per probe.
         let prober = IncreaseIiDriver::with_scheduler(self.scheduler.clone());
-        let mut lo = mii(ddg, machine);
+        let ctx = LoopAnalysis::new(ddg, machine);
+        let mut lo = ctx.mii();
         let mut hi = spill_outcome.schedule.ii();
         let mut probes = 0u32;
         let mut best: Option<(Schedule, AllocationResult)> = None;
         while lo <= hi {
             let mid = lo + (hi - lo) / 2;
             probes += 1;
-            match prober.probe(ddg, machine, mid) {
+            match prober.probe_in(&ctx, mid) {
                 Ok((s, a)) if a.total() <= regs => {
                     hi = s.ii().saturating_sub(1);
                     best = Some((s, a));

@@ -7,7 +7,7 @@ use regpipe_ddg::Ddg;
 use regpipe_machine::MachineConfig;
 use regpipe_regalloc::{allocate, AllocationResult, LifetimeAnalysis};
 use regpipe_sched::{
-    fallback_max_ii, mii, HrmsScheduler, SchedError, SchedRequest, Schedule, Scheduler,
+    HrmsScheduler, LoopAnalysis, SchedError, SchedRequest, Schedule, Scheduler,
 };
 
 /// One measurement of the II sweep (a point of the paper's Figure 4).
@@ -131,19 +131,21 @@ impl<S: Scheduler> IncreaseIiDriver<S> {
         machine: &MachineConfig,
         regs: u32,
     ) -> Result<IncreaseIiOutcome, IncreaseIiFailure> {
-        let lower = mii(ddg, machine);
-        let cap = fallback_max_ii(ddg, machine).max(lower);
+        // The graph never changes during a sweep: one analysis context
+        // serves every II probe.
+        let ctx = LoopAnalysis::new(ddg, machine);
+        let lower = ctx.mii();
+        let cap = ctx.fallback_max_ii().max(lower);
         let mut trace = Vec::new();
         let mut best = u32::MAX;
         let mut since_improvement = 0u32;
 
         let mut ii = lower;
         loop {
-            let sched = match self.scheduler.schedule(
-                ddg,
-                machine,
-                &SchedRequest { min_ii: Some(ii), max_ii: None },
-            ) {
+            let sched = match self
+                .scheduler
+                .schedule_in(&ctx, &SchedRequest { min_ii: Some(ii), max_ii: None })
+            {
                 Ok(s) => s,
                 Err(e) => {
                     return Err(IncreaseIiFailure {
@@ -218,8 +220,23 @@ impl<S: Scheduler> IncreaseIiDriver<S> {
         machine: &MachineConfig,
         ii: u32,
     ) -> Result<(Schedule, AllocationResult), SchedError> {
-        let sched = self.scheduler.schedule(ddg, machine, &SchedRequest::exactly(ii))?;
-        let allocation = allocate(ddg, &sched);
+        self.probe_in(&LoopAnalysis::new(ddg, machine), ii)
+    }
+
+    /// [`IncreaseIiDriver::probe`] within a prebuilt analysis context, so a
+    /// probe sequence over one loop (the best-of-all binary search) shares
+    /// the II-independent work across probes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scheduler error when no schedule exists at `ii`.
+    pub fn probe_in(
+        &self,
+        ctx: &LoopAnalysis<'_>,
+        ii: u32,
+    ) -> Result<(Schedule, AllocationResult), SchedError> {
+        let sched = self.scheduler.schedule_in(ctx, &SchedRequest::exactly(ii))?;
+        let allocation = allocate(ctx.ddg(), &sched);
         Ok((sched, allocation))
     }
 
@@ -331,7 +348,7 @@ mod tests {
         let g = b.build().unwrap();
         let m = MachineConfig::p2l4();
         let driver = IncreaseIiDriver::new();
-        let (s, _) = driver.probe(&g, &m, mii(&g, &m)).unwrap();
+        let (s, _) = driver.probe(&g, &m, regpipe_sched::mii(&g, &m)).unwrap();
         assert_eq!(driver.register_floor(&g, &s), 5, "4 distance regs + 1 invariant");
     }
 }

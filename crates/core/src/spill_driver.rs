@@ -8,8 +8,10 @@ use std::time::Instant;
 use regpipe_ddg::Ddg;
 use regpipe_machine::{MachineConfig, Mrt};
 use regpipe_regalloc::{allocate, AllocationResult, LifetimeAnalysis};
-use regpipe_sched::{mii, HrmsScheduler, SchedError, SchedRequest, Schedule, Scheduler};
-use regpipe_spill::{candidates, select, select_batch, spill, SelectHeuristic};
+use regpipe_sched::{
+    HrmsScheduler, LoopAnalysis, SchedError, SchedRequest, Schedule, Scheduler,
+};
+use regpipe_spill::{candidates, select, select_batch, spill_batch, SelectHeuristic};
 
 /// Options for the iterative spilling driver.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -227,17 +229,20 @@ impl<S: Scheduler> SpillDriver<S> {
                     trace,
                 });
             }
-            let current_mii = mii(&g, machine);
+            // One analysis context per spill round: every II probe of this
+            // round's schedule call shares it, and the spill rewrite at the
+            // end of the round is the only thing that invalidates it.
+            let ctx = LoopAnalysis::new(&g, machine);
+            let current_mii = ctx.mii();
             let min_ii = if self.options.last_ii_pruning {
                 prev_ii.map(|p| p.max(current_mii))
             } else {
                 None
             };
-            let sched = match self.scheduler.schedule(
-                &g,
-                machine,
-                &SchedRequest { min_ii, max_ii: None },
-            ) {
+            let sched = match self
+                .scheduler
+                .schedule_in(&ctx, &SchedRequest { min_ii, max_ii: None })
+            {
                 Ok(s) => s,
                 Err(e) => {
                     return Err(SpillFailure {
@@ -247,6 +252,7 @@ impl<S: Scheduler> SpillDriver<S> {
                     })
                 }
             };
+            drop(ctx);
             reschedules += 1;
             iis_explored += sched.iis_tried();
             let allocation = allocate(&g, &sched);
@@ -318,10 +324,10 @@ impl<S: Scheduler> SpillDriver<S> {
                     trace,
                 });
             }
-            for victim in &victims {
-                spill(&mut g, victim);
-                spilled += 1;
-            }
+            // The one DDG mutation point of the driver: any LoopAnalysis of
+            // `g` is stale from here on and is rebuilt next round.
+            spill_batch(&mut g, &victims);
+            spilled += victims.len() as u32;
             prev_ii = Some(sched.ii());
         }
     }
@@ -344,62 +350,57 @@ impl<S: Scheduler> SpillDriver<S> {
         mut trace: Vec<SpillTracePoint>,
         started: Instant,
     ) -> Result<SpillOutcome, SpillFailure> {
-        let mut ii = from_ii + 1;
-        loop {
-            if reschedules >= self.options.max_rounds {
-                return Err(SpillFailure {
-                    kind: SpillFailureKind::RoundCap,
-                    best_regs: best,
-                    trace,
-                });
-            }
-            let sched = match self.scheduler.schedule(
-                &g,
-                machine,
-                &SchedRequest { min_ii: Some(ii), max_ii: None },
-            ) {
-                Ok(s) => s,
-                Err(e) => {
-                    return Err(SpillFailure {
-                        kind: SpillFailureKind::Sched(e),
-                        best_regs: best,
-                        trace,
-                    })
+        // The graph no longer changes in this phase: one context serves
+        // every sweep iteration. Scoped so `g` can be moved into the
+        // outcome once the sweep settles.
+        let fitted = {
+            let ctx = LoopAnalysis::new(&g, machine);
+            let mut ii = from_ii + 1;
+            loop {
+                if reschedules >= self.options.max_rounds {
+                    break Err(SpillFailureKind::RoundCap);
                 }
-            };
-            reschedules += 1;
-            iis_explored += sched.iis_tried();
-            let allocation = allocate(&g, &sched);
-            best = Some(best.map_or(allocation.total(), |b| b.min(allocation.total())));
-            trace.push(SpillTracePoint {
-                spilled,
-                mii: mii(&g, machine),
-                ii: sched.ii(),
-                regs: allocation.total(),
-                memory_ops: g.memory_ops() as u32,
-                memory_utilization: memory_utilization(&g, machine, &sched),
-            });
-            if allocation.total() <= regs {
-                return Ok(SpillOutcome {
-                    ddg: g,
-                    schedule: sched,
-                    allocation,
+                let sched = match self
+                    .scheduler
+                    .schedule_in(&ctx, &SchedRequest { min_ii: Some(ii), max_ii: None })
+                {
+                    Ok(s) => s,
+                    Err(e) => break Err(SpillFailureKind::Sched(e)),
+                };
+                reschedules += 1;
+                iis_explored += sched.iis_tried();
+                let allocation = allocate(&g, &sched);
+                best = Some(best.map_or(allocation.total(), |b| b.min(allocation.total())));
+                trace.push(SpillTracePoint {
                     spilled,
-                    reschedules,
-                    iis_explored,
-                    elapsed: started.elapsed(),
-                    trace,
+                    mii: ctx.mii(),
+                    ii: sched.ii(),
+                    regs: allocation.total(),
+                    memory_ops: g.memory_ops() as u32,
+                    memory_utilization: memory_utilization(&g, machine, &sched),
                 });
+                if allocation.total() <= regs {
+                    break Ok((sched, allocation));
+                }
+                if sched.stage_count() == 1 {
+                    // No overlap left: this is the loop's true floor.
+                    break Err(SpillFailureKind::Unspillable);
+                }
+                ii = sched.ii() + 1;
             }
-            if sched.stage_count() == 1 {
-                // No overlap left: this is the loop's true floor.
-                return Err(SpillFailure {
-                    kind: SpillFailureKind::Unspillable,
-                    best_regs: best,
-                    trace,
-                });
-            }
-            ii = sched.ii() + 1;
+        };
+        match fitted {
+            Ok((schedule, allocation)) => Ok(SpillOutcome {
+                ddg: g,
+                schedule,
+                allocation,
+                spilled,
+                reschedules,
+                iis_explored,
+                elapsed: started.elapsed(),
+                trace,
+            }),
+            Err(kind) => Err(SpillFailure { kind, best_regs: best, trace }),
         }
     }
 }

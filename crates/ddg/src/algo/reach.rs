@@ -3,73 +3,212 @@
 use crate::graph::Ddg;
 use crate::op::OpId;
 
-/// Precomputed all-pairs reachability (transitive closure) over a graph.
+/// Word-packed transitive closure over an arbitrary adjacency-list graph
+/// (node = index into the list).
 ///
-/// Built once (O(V·E / 64) via bitset DFS), queried in O(1). The schedulers
-/// use it to find the operations lying *between* an already-ordered set and
-/// a recurrence (the "path nodes" of the ordering phase).
+/// Built once in O((V+E)·V/64) by accumulating successor sets in reverse
+/// topological order of the SCC condensation (one pass — no fixpoint
+/// iteration), queried in O(1). Rows are exposed as `&[u64]` so callers can
+/// union several sources with plain bitwise ORs; the schedulers use this to
+/// find the operations lying *between* an already-ordered set and a
+/// recurrence (the "path nodes" of the HRMS ordering phase) without a BFS
+/// per query.
 #[derive(Clone, Debug)]
-pub struct Reachability {
+pub struct BitClosure {
     n: usize,
     words: usize,
-    /// `bits[v * words ..][..]`: set of nodes reachable from v (including v).
+    /// `bits[v * words ..][..words]`: set of nodes reachable from v
+    /// (including v itself).
     bits: Vec<u64>,
 }
 
-impl Reachability {
-    /// Builds the transitive closure of `g` (following all edge kinds and
-    /// distances — reachability is about graph topology, not timing).
-    pub fn new(g: &Ddg) -> Self {
-        let n = g.num_ops();
+impl BitClosure {
+    /// Builds the closure of the graph whose successors of `v` are
+    /// `adj[v]`. Self-loops and duplicate edges are tolerated.
+    pub fn new(adj: &[Vec<usize>]) -> Self {
+        let n = adj.len();
         let words = n.div_ceil(64);
         let mut bits = vec![0u64; n * words];
-
-        // Process in reverse condensation order so most successors are done
-        // first; fall back to fixpoint iteration for cyclic graphs.
-        let mut changed = true;
         for v in 0..n {
             bits[v * words + v / 64] |= 1 << (v % 64);
         }
-        while changed {
-            changed = false;
-            for v in 0..n {
-                // OR in all successors' sets.
-                let succ: Vec<usize> = g.successors(OpId::new(v)).map(|s| s.index()).collect();
-                for s in succ {
-                    if s == v {
+        // Tarjan SCCs emit components in reverse topological order of the
+        // condensation, so by the time a component is closed every
+        // successor outside it already has its final row: one OR pass per
+        // edge suffices. Edges inside the component are handled by giving
+        // all its members one shared row.
+        for comp in sccs_of(adj) {
+            // Union the members' direct-successor rows into the first
+            // member's row, then copy it to the rest.
+            let root = comp[0];
+            for &v in &comp {
+                for &s in &adj[v] {
+                    if s == root {
                         continue;
                     }
-                    let (lo, hi) = if v < s { (v, s) } else { (s, v) };
-                    let (a, b) = bits.split_at_mut(hi * words);
-                    let (dst, src) = if v < s {
-                        (&mut a[v * words..v * words + words], &b[..words])
-                    } else {
-                        (&mut b[..words], &a[s * words..s * words + words])
-                    };
-                    let _ = lo;
+                    let (dst, src) = disjoint_rows(&mut bits, words, root, s);
                     for w in 0..words {
-                        let nv = dst[w] | src[w];
-                        if nv != dst[w] {
-                            dst[w] = nv;
-                            changed = true;
+                        dst[w] |= src[w];
+                    }
+                }
+                if v != root {
+                    bits[root * words + v / 64] |= 1 << (v % 64);
+                }
+            }
+            for &v in comp.iter().skip(1) {
+                let (dst, src) = disjoint_rows(&mut bits, words, v, root);
+                dst.copy_from_slice(src);
+            }
+        }
+        BitClosure { n, words, bits }
+    }
+
+    /// Builds the closure of the transposed graph (i.e. *backward*
+    /// reachability of the original).
+    pub fn transposed(adj: &[Vec<usize>]) -> Self {
+        let mut rev = vec![Vec::new(); adj.len()];
+        for (v, succs) in adj.iter().enumerate() {
+            for &s in succs {
+                rev[s].push(v);
+            }
+        }
+        BitClosure::new(&rev)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the closure covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of `u64` words per row.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Whether `to` is reachable from `from` (every node reaches itself).
+    pub fn reaches(&self, from: usize, to: usize) -> bool {
+        assert!(from < self.n && to < self.n, "node index out of bounds");
+        self.bits[from * self.words + to / 64] >> (to % 64) & 1 == 1
+    }
+
+    /// The reachable set of `from`, as a packed bitset row.
+    pub fn row(&self, from: usize) -> &[u64] {
+        assert!(from < self.n, "node index out of bounds");
+        &self.bits[from * self.words..(from + 1) * self.words]
+    }
+}
+
+/// Two non-overlapping rows of the packed matrix, mutably and immutably.
+fn disjoint_rows(
+    bits: &mut [u64],
+    words: usize,
+    dst: usize,
+    src: usize,
+) -> (&mut [u64], &[u64]) {
+    debug_assert_ne!(dst, src);
+    let hi = dst.max(src);
+    let (a, b) = bits.split_at_mut(hi * words);
+    if dst < src {
+        (&mut a[dst * words..(dst + 1) * words], &b[..words])
+    } else {
+        (&mut b[..words], &a[src * words..(src + 1) * words])
+    }
+}
+
+/// Tarjan SCCs of an adjacency-list graph, in reverse topological order of
+/// the condensation (iterative, shared by [`BitClosure`] and the scheduler's
+/// group-level super graph).
+pub fn sccs_of(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut on = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next = 0usize;
+    let mut out = Vec::new();
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        work.push((root, 0));
+        index[root] = next;
+        low[root] = next;
+        next += 1;
+        stack.push(root);
+        on[root] = true;
+        while let Some(&mut (v, ref mut cur)) = work.last_mut() {
+            if *cur < adj[v].len() {
+                let w = adj[v][*cur];
+                *cur += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next;
+                    low[w] = next;
+                    next += 1;
+                    stack.push(w);
+                    on[w] = true;
+                    work.push((w, 0));
+                } else if on[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(p, _)) = work.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan underflow");
+                        on[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
                         }
                     }
+                    out.push(comp);
                 }
             }
         }
-        Reachability { n, words, bits }
+    }
+    out
+}
+
+/// Precomputed all-pairs reachability (transitive closure) over a graph.
+///
+/// A thin [`OpId`]-typed facade over [`BitClosure`]: built once, queried in
+/// O(1), following all edge kinds and distances — reachability is about
+/// graph topology, not timing.
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    closure: BitClosure,
+}
+
+impl Reachability {
+    /// Builds the transitive closure of `g`.
+    pub fn new(g: &Ddg) -> Self {
+        let adj: Vec<Vec<usize>> = (0..g.num_ops())
+            .map(|v| g.successors(OpId::new(v)).map(|s| s.index()).collect())
+            .collect();
+        Reachability { closure: BitClosure::new(&adj) }
     }
 
     /// Whether `to` is reachable from `from` (every node reaches itself).
     pub fn reaches(&self, from: OpId, to: OpId) -> bool {
-        let (f, t) = (from.index(), to.index());
-        assert!(f < self.n && t < self.n, "op id out of bounds");
-        self.bits[f * self.words + t / 64] >> (t % 64) & 1 == 1
+        self.closure.reaches(from.index(), to.index())
     }
 
     /// All nodes reachable from `from` (including itself).
     pub fn reachable_from(&self, from: OpId) -> Vec<OpId> {
-        (0..self.n).filter(|&t| self.reaches(from, OpId::new(t))).map(OpId::new).collect()
+        (0..self.closure.len())
+            .filter(|&t| self.closure.reaches(from.index(), t))
+            .map(OpId::new)
+            .collect()
     }
 }
 
@@ -117,6 +256,86 @@ mod tests {
         let r = Reachability::new(&g);
         assert!(!r.reaches(x, y));
         assert!(!r.reaches(y, x));
+    }
+
+    /// Reference BFS reachability, for cross-checking the bitset closure.
+    fn bfs_reach(adj: &[Vec<usize>], from: usize) -> Vec<bool> {
+        let mut seen = vec![false; adj.len()];
+        let mut queue = vec![from];
+        seen[from] = true;
+        while let Some(v) = queue.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    queue.push(w);
+                }
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn bit_closure_matches_bfs_on_random_adjacency() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for case in 0..60 {
+            let n = rng.random_range(1..90usize);
+            let mut adj = vec![Vec::new(); n];
+            for _ in 0..rng.random_range(0..3 * n) {
+                let f = rng.random_range(0..n);
+                let t = rng.random_range(0..n);
+                adj[f].push(t);
+            }
+            let closure = BitClosure::new(&adj);
+            let back = BitClosure::transposed(&adj);
+            for v in 0..n {
+                let seen = bfs_reach(&adj, v);
+                for (t, &reachable) in seen.iter().enumerate() {
+                    assert_eq!(
+                        closure.reaches(v, t),
+                        reachable,
+                        "case {case}: closure({v} -> {t})"
+                    );
+                    assert_eq!(
+                        back.reaches(t, v),
+                        reachable,
+                        "case {case}: transpose({t} <- {v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_closure_rows_are_unionable() {
+        // a -> b, c -> d: the union of rows a and c covers all four nodes.
+        let adj = vec![vec![1], vec![], vec![3], vec![]];
+        let closure = BitClosure::new(&adj);
+        assert_eq!(closure.words(), 1);
+        let union = closure.row(0)[0] | closure.row(2)[0];
+        assert_eq!(union, 0b1111);
+        assert!(!closure.is_empty());
+        assert_eq!(closure.len(), 4);
+    }
+
+    #[test]
+    fn sccs_of_emits_reverse_topological_components() {
+        // 0 <-> 1 -> 2, 2 -> 3 <-> 4: the sink component {3,4} comes first.
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![4], vec![3]];
+        let comps = sccs_of(&adj);
+        assert_eq!(comps.len(), 3);
+        let mut sets: Vec<Vec<usize>> = comps
+            .iter()
+            .map(|c| {
+                let mut s = c.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        assert_eq!(sets.remove(0), vec![3, 4], "sink SCC closed first");
+        assert!(sets.contains(&vec![0, 1]));
+        assert!(sets.contains(&vec![2]));
     }
 
     #[test]

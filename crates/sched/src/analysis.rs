@@ -4,7 +4,7 @@
 use regpipe_ddg::{Ddg, OpId};
 use regpipe_machine::MachineConfig;
 
-use crate::edge_latency;
+use crate::loop_analysis::{op_latencies, timed_edges, TimedEdge};
 
 /// Per-operation timing bounds at a fixed candidate II.
 ///
@@ -18,20 +18,64 @@ use crate::edge_latency;
 /// longest-path iteration would not converge. [`TimeAnalysis::new`] bails
 /// out (returns `None`) if it detects divergence, which doubles as a cheap
 /// RecMII feasibility check.
+///
+/// Alongside each bound the analysis tracks the total dependence *distance*
+/// of the path that produced it. Those distances let the solution at one II
+/// seed the fixpoint iteration at a larger II (see
+/// [`LoopAnalysis::time_analysis`](crate::LoopAnalysis::time_analysis)):
+/// the II sweep inside a scheduler warm-starts each analysis from the
+/// previous one instead of relaxing from scratch.
 #[derive(Clone, Debug)]
 pub struct TimeAnalysis {
     ii: u32,
     asap: Vec<i64>,
     alap: Vec<i64>,
     horizon: i64,
+    /// Σδ of the maximizing path behind each `asap` entry.
+    asap_dist: Vec<i64>,
+    /// Σδ of the binding path behind each `alap` entry.
+    alap_dist: Vec<i64>,
 }
 
 impl TimeAnalysis {
     /// Runs the analysis for `ii`; `None` if `ii < RecMII` (divergent).
     pub fn new(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Option<Self> {
-        let n = ddg.num_ops();
+        let edges = timed_edges(ddg, machine);
+        let latency = op_latencies(ddg, machine);
+        Self::compute(ddg.num_ops(), &edges, &latency, ii, None)
+    }
+
+    /// Core fixpoint computation over pre-resolved edge timings.
+    ///
+    /// `warm` may carry the solution for a *smaller* II of the same graph.
+    /// Each bound's recorded path distance gives a valid value of that same
+    /// path at the new II (`asap − δ·ΔII`), which under-approximates the new
+    /// ASAP fixpoint (and symmetrically over-approximates the new ALAP), so
+    /// relaxation can start there and still converge to the exact same
+    /// least/greatest fixpoint a cold start reaches — usually in one pass.
+    pub(crate) fn compute(
+        n: usize,
+        edges: &[TimedEdge],
+        latency: &[i64],
+        ii: u32,
+        warm: Option<&TimeAnalysis>,
+    ) -> Option<Self> {
+        let ii64 = i64::from(ii);
+        let warm = warm.filter(|w| w.ii < ii);
+        let delta = warm.map_or(0, |w| ii64 - i64::from(w.ii));
+
+        // ASAP: least fixpoint of max-relaxation, floored at 0.
         let mut asap = vec![0i64; n];
-        // Bellman–Ford style relaxation; at most n rounds when feasible.
+        let mut asap_dist = vec![0i64; n];
+        if let Some(w) = warm {
+            for v in 0..n {
+                let seeded = w.asap[v] - w.asap_dist[v] * delta;
+                if seeded > 0 {
+                    asap[v] = seeded;
+                    asap_dist[v] = w.asap_dist[v];
+                }
+            }
+        }
         let mut changed = true;
         let mut rounds = 0usize;
         while changed {
@@ -40,24 +84,31 @@ impl TimeAnalysis {
             if rounds > n + 1 {
                 return None; // positive cycle: ii < RecMII
             }
-            for e in ddg.edges() {
-                let w = edge_latency(machine, ddg, e) - i64::from(ii) * i64::from(e.distance());
-                let cand = asap[e.from().index()] + w;
-                if cand > asap[e.to().index()] {
-                    asap[e.to().index()] = cand;
+            for e in edges {
+                let cand = asap[e.from] + e.lat - ii64 * e.dist;
+                if cand > asap[e.to] {
+                    asap[e.to] = cand;
+                    asap_dist[e.to] = asap_dist[e.from] + e.dist;
                     changed = true;
                 }
             }
         }
         // Critical path length: the makespan if every op ran to completion.
-        let horizon = ddg
-            .ops()
-            .map(|(id, node)| asap[id.index()] + i64::from(machine.latency(node.kind())))
-            .max()
-            .unwrap_or(0);
-        let mut alap = vec![horizon; n];
-        for (id, node) in ddg.ops() {
-            alap[id.index()] = horizon - i64::from(machine.latency(node.kind()));
+        let horizon = (0..n).map(|v| asap[v] + latency[v]).max().unwrap_or(0);
+
+        // ALAP: greatest fixpoint of min-relaxation, capped at
+        // `horizon − latency`.
+        let mut alap: Vec<i64> = (0..n).map(|v| horizon - latency[v]).collect();
+        let mut alap_dist = vec![0i64; n];
+        if let Some(w) = warm {
+            let shift = horizon - w.horizon;
+            for v in 0..n {
+                let seeded = w.alap[v] + w.alap_dist[v] * delta + shift;
+                if seeded < alap[v] {
+                    alap[v] = seeded;
+                    alap_dist[v] = w.alap_dist[v];
+                }
+            }
         }
         changed = true;
         rounds = 0;
@@ -67,16 +118,16 @@ impl TimeAnalysis {
             if rounds > n + 1 {
                 return None;
             }
-            for e in ddg.edges() {
-                let w = edge_latency(machine, ddg, e) - i64::from(ii) * i64::from(e.distance());
-                let cand = alap[e.to().index()] - w;
-                if cand < alap[e.from().index()] {
-                    alap[e.from().index()] = cand;
+            for e in edges {
+                let cand = alap[e.to] - e.lat + ii64 * e.dist;
+                if cand < alap[e.from] {
+                    alap[e.from] = cand;
+                    alap_dist[e.from] = alap_dist[e.to] + e.dist;
                     changed = true;
                 }
             }
         }
-        Some(TimeAnalysis { ii, asap, alap, horizon })
+        Some(TimeAnalysis { ii, asap, alap, horizon, asap_dist, alap_dist })
     }
 
     /// The II this analysis was computed for.
@@ -161,5 +212,48 @@ mod tests {
         let t = TimeAnalysis::new(&g, &machine, 4).unwrap();
         assert_eq!(t.mobility(a), 0);
         assert_eq!(t.mobility(c), 3, "copy can slide by lat(add)-lat(copy)");
+    }
+
+    /// Warm-started analyses must be indistinguishable from cold ones: the
+    /// ASAP/ALAP fixpoints are unique, so any valid seeding converges to
+    /// exactly the cold-start values.
+    #[test]
+    fn warm_start_matches_cold_start() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let machine = MachineConfig::p2l4();
+        for case in 0..60 {
+            let n = rng.random_range(2..16usize);
+            let mut b = DdgBuilder::new(format!("w{case}"));
+            let kinds = [OpKind::Load, OpKind::Add, OpKind::Mul, OpKind::Copy, OpKind::Div];
+            let ops: Vec<_> = (0..n)
+                .map(|i| b.add_op(kinds[rng.random_range(0..kinds.len())], format!("n{i}")))
+                .collect();
+            for _ in 0..rng.random_range(1..3 * n) {
+                let f = ops[rng.random_range(0..n)];
+                let t = ops[rng.random_range(0..n)];
+                if t > f {
+                    b.reg_dist(f, t, rng.random_range(0..3u32));
+                } else if t < f {
+                    b.reg_dist(f, t, rng.random_range(1..4u32));
+                }
+            }
+            let Ok(g) = b.build() else { continue };
+            let edges = timed_edges(&g, &machine);
+            let latency = op_latencies(&g, &machine);
+            let lo = crate::rec_mii(&g, &machine);
+            let mut prev: Option<TimeAnalysis> = None;
+            for ii in lo..lo + 6 {
+                let cold =
+                    TimeAnalysis::new(&g, &machine, ii).expect("feasible at ii >= RecMII");
+                let warm = TimeAnalysis::compute(n, &edges, &latency, ii, prev.as_ref())
+                    .expect("warm start stays feasible");
+                assert_eq!(warm.asap, cold.asap, "case {case} ii {ii}: asap\n{g}");
+                assert_eq!(warm.alap, cold.alap, "case {case} ii {ii}: alap\n{g}");
+                assert_eq!(warm.horizon, cold.horizon, "case {case} ii {ii}: horizon");
+                prev = Some(warm);
+            }
+        }
     }
 }

@@ -4,9 +4,9 @@ use regpipe_ddg::Ddg;
 use regpipe_machine::MachineConfig;
 
 use crate::analysis::TimeAnalysis;
-use crate::groups::ComplexGroups;
-use crate::hrms::{place_order, topo_leader_order, PlaceMode};
-use crate::{fallback_max_ii, mii, SchedError, SchedRequest, Schedule, Scheduler};
+use crate::hrms::{place_order, PlaceMode, PlaceScratch};
+use crate::loop_analysis::LoopAnalysis;
+use crate::{SchedError, SchedRequest, Schedule, Scheduler};
 
 /// A top-down, register-*insensitive* modulo scheduler.
 ///
@@ -41,34 +41,42 @@ impl Scheduler for AsapScheduler {
         machine: &MachineConfig,
         request: &SchedRequest,
     ) -> Result<Schedule, SchedError> {
-        let lower = mii(ddg, machine).max(request.min_ii.unwrap_or(1));
-        let upper = request.max_ii.unwrap_or_else(|| fallback_max_ii(ddg, machine));
+        self.schedule_in(&LoopAnalysis::new(ddg, machine), request)
+    }
+
+    fn schedule_in(
+        &self,
+        ctx: &LoopAnalysis<'_>,
+        request: &SchedRequest,
+    ) -> Result<Schedule, SchedError> {
+        let lower = ctx.mii().max(request.min_ii.unwrap_or(1));
+        let upper = request.max_ii.unwrap_or_else(|| ctx.fallback_max_ii());
         if upper < lower {
             return Err(SchedError::InfeasibleRequest { min_ii: lower, max_ii: upper });
         }
-        let groups = ComplexGroups::new(ddg, machine);
         // Forward topological order of group leaders over zero-distance
         // edges: every placement window is bounded below by already-placed
         // intra-iteration predecessors and above only by loop-carried edges,
-        // which relax as II grows.
-        let order = topo_leader_order(ddg, &groups);
+        // which relax as II grows. Cached as the context's fallback order.
+        let mut scratch = PlaceScratch::new(ctx.ddg().num_ops());
         let mut tried = 0u32;
+        let mut prev: Option<TimeAnalysis> = None;
         for ii in lower..=upper {
             tried += 1;
-            let Some(analysis) = TimeAnalysis::new(ddg, machine, ii) else {
+            let Some(analysis) = ctx.time_analysis(ii, prev.as_ref()) else {
                 continue;
             };
             if let Some(starts) = place_order(
-                ddg,
-                machine,
+                ctx,
                 ii,
-                &order,
-                &groups,
+                &ctx.fallback,
                 &analysis,
                 PlaceMode::AsapClamped,
+                &mut scratch,
             ) {
                 return Ok(Schedule::with_provenance(ii, starts, "asap", tried));
             }
+            prev = Some(analysis);
         }
         Err(SchedError::NoScheduleUpTo { max_ii: upper })
     }

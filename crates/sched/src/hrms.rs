@@ -22,6 +22,12 @@
 //!
 //! Complex-operation groups (bonded spill code, Section 4.3 of the paper)
 //! are ordered and placed atomically with exact member offsets.
+//!
+//! Everything II-independent — groups, the super graph, recurrence sets and
+//! their bounds, reachability, the fallback order — lives in
+//! [`LoopAnalysis`] and is computed once per loop; the II search below only
+//! re-runs the (warm-started) timing analysis, the alternating-direction
+//! inner ordering and the placement scan per candidate II.
 
 use std::collections::BTreeSet;
 
@@ -30,9 +36,8 @@ use regpipe_machine::{MachineConfig, Mrt};
 
 use crate::analysis::TimeAnalysis;
 use crate::groups::ComplexGroups;
-use crate::{
-    edge_latency, fallback_max_ii, mii, SchedError, SchedRequest, Schedule, Scheduler,
-};
+use crate::loop_analysis::LoopAnalysis;
+use crate::{SchedError, SchedRequest, Schedule, Scheduler};
 
 const NEG_INF: i64 = i64::MIN / 4;
 
@@ -60,9 +65,9 @@ impl HrmsScheduler {
     ///
     /// Returns `None` when the timing analysis is infeasible at `ii`.
     pub fn ordering(&self, ddg: &Ddg, machine: &MachineConfig, ii: u32) -> Option<Vec<OpId>> {
-        let groups = ComplexGroups::new(ddg, machine);
-        let analysis = TimeAnalysis::new(ddg, machine, ii)?;
-        Some(ordering(ddg, machine, &analysis, &groups))
+        let ctx = LoopAnalysis::new(ddg, machine);
+        let analysis = ctx.time_analysis(ii, None)?;
+        Some(ordering_in(&ctx, &analysis))
     }
 }
 
@@ -77,25 +82,30 @@ impl Scheduler for HrmsScheduler {
         machine: &MachineConfig,
         request: &SchedRequest,
     ) -> Result<Schedule, SchedError> {
-        let lower = mii(ddg, machine).max(request.min_ii.unwrap_or(1));
-        let upper = request
-            .max_ii
-            .unwrap_or_else(|| fallback_max_ii(ddg, machine))
-            .max(request.max_ii.unwrap_or(0));
+        self.schedule_in(&LoopAnalysis::new(ddg, machine), request)
+    }
+
+    fn schedule_in(
+        &self,
+        ctx: &LoopAnalysis<'_>,
+        request: &SchedRequest,
+    ) -> Result<Schedule, SchedError> {
+        let lower = ctx.mii().max(request.min_ii.unwrap_or(1));
+        let upper = request.max_ii.unwrap_or_else(|| ctx.fallback_max_ii());
         if upper < lower {
             return Err(SchedError::InfeasibleRequest { min_ii: lower, max_ii: upper });
         }
-        let groups = ComplexGroups::new(ddg, machine);
-        let fallback = topo_leader_order(ddg, &groups);
+        let mut scratch = PlaceScratch::new(ctx.ddg().num_ops());
         let mut tried = 0u32;
+        let mut prev: Option<TimeAnalysis> = None;
         for ii in lower..=upper {
             tried += 1;
-            let Some(analysis) = TimeAnalysis::new(ddg, machine, ii) else {
+            let Some(analysis) = ctx.time_analysis(ii, prev.as_ref()) else {
                 continue;
             };
-            let order = ordering(ddg, machine, &analysis, &groups);
+            let order = ordering_in(ctx, &analysis);
             if let Some(starts) =
-                place_order(ddg, machine, ii, &order, &groups, &analysis, PlaceMode::Hrms)
+                place_order(ctx, ii, &order, &analysis, PlaceMode::Hrms, &mut scratch)
             {
                 return Ok(Schedule::with_provenance(ii, starts, "hrms", tried));
             }
@@ -105,213 +115,24 @@ impl Scheduler for HrmsScheduler {
             // drift and converges as II grows; try it before giving up on
             // this II so the search degrades gracefully instead of failing.
             if let Some(starts) = place_order(
-                ddg,
-                machine,
+                ctx,
                 ii,
-                &fallback,
-                &groups,
+                &ctx.fallback,
                 &analysis,
                 PlaceMode::AsapClamped,
+                &mut scratch,
             ) {
                 return Ok(Schedule::with_provenance(ii, starts, "hrms", tried));
             }
+            prev = Some(analysis);
         }
         Err(SchedError::NoScheduleUpTo { max_ii: upper })
     }
 }
 
 // ----------------------------------------------------------------------
-// Ordering phase
+// Ordering phase (per-II half; the priority sets live in LoopAnalysis)
 // ----------------------------------------------------------------------
-
-/// A super-graph over complex groups: adjacency between group indices.
-struct SuperGraph {
-    succs: Vec<Vec<usize>>,
-    preds: Vec<Vec<usize>>,
-    /// Groups closed into a recurrence by a loop-carried edge internal to
-    /// the group (e.g. an accumulator's self-edge). Tracked separately:
-    /// `succs`/`preds` drop intra-group edges, so a one-group recurrence is
-    /// invisible to the SCC pass.
-    self_cyclic: Vec<bool>,
-}
-
-impl SuperGraph {
-    fn new(ddg: &Ddg, groups: &ComplexGroups) -> Self {
-        let g = groups.len();
-        let mut succs = vec![Vec::new(); g];
-        let mut preds = vec![Vec::new(); g];
-        let mut self_cyclic = vec![false; g];
-        for e in ddg.edges() {
-            let gf = groups.group_of(e.from());
-            let gt = groups.group_of(e.to());
-            if gf != gt {
-                if !succs[gf].contains(&gt) {
-                    succs[gf].push(gt);
-                }
-                if !preds[gt].contains(&gf) {
-                    preds[gt].push(gf);
-                }
-            } else if e.distance() > 0 {
-                // Distance-0 intra-group edges (bonds and the free edges
-                // between bonded members) are acyclic by validation; only a
-                // carried edge closes a recurrence through the group.
-                self_cyclic[gf] = true;
-            }
-        }
-        SuperGraph { succs, preds, self_cyclic }
-    }
-
-    /// Tarjan SCCs over the super graph, in reverse topological order.
-    fn sccs(&self) -> Vec<Vec<usize>> {
-        let n = self.succs.len();
-        let mut index = vec![usize::MAX; n];
-        let mut low = vec![usize::MAX; n];
-        let mut on = vec![false; n];
-        let mut stack = Vec::new();
-        let mut next = 0usize;
-        let mut out = Vec::new();
-        let mut work: Vec<(usize, usize)> = Vec::new();
-        for root in 0..n {
-            if index[root] != usize::MAX {
-                continue;
-            }
-            work.push((root, 0));
-            index[root] = next;
-            low[root] = next;
-            next += 1;
-            stack.push(root);
-            on[root] = true;
-            while let Some(&mut (v, ref mut cur)) = work.last_mut() {
-                if *cur < self.succs[v].len() {
-                    let w = self.succs[v][*cur];
-                    *cur += 1;
-                    if index[w] == usize::MAX {
-                        index[w] = next;
-                        low[w] = next;
-                        next += 1;
-                        stack.push(w);
-                        on[w] = true;
-                        work.push((w, 0));
-                    } else if on[w] {
-                        low[v] = low[v].min(index[w]);
-                    }
-                } else {
-                    work.pop();
-                    if let Some(&(p, _)) = work.last() {
-                        low[p] = low[p].min(low[v]);
-                    }
-                    if low[v] == index[v] {
-                        let mut comp = Vec::new();
-                        loop {
-                            let w = stack.pop().expect("tarjan underflow");
-                            on[w] = false;
-                            comp.push(w);
-                            if w == v {
-                                break;
-                            }
-                        }
-                        out.push(comp);
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    fn forward_reach(&self, from: &[usize]) -> Vec<bool> {
-        bfs(&self.succs, from)
-    }
-
-    fn backward_reach(&self, from: &[usize]) -> Vec<bool> {
-        bfs(&self.preds, from)
-    }
-}
-
-fn bfs(adj: &[Vec<usize>], from: &[usize]) -> Vec<bool> {
-    let mut seen = vec![false; adj.len()];
-    let mut queue: Vec<usize> = Vec::new();
-    for &f in from {
-        if !seen[f] {
-            seen[f] = true;
-            queue.push(f);
-        }
-    }
-    while let Some(v) = queue.pop() {
-        for &w in &adj[v] {
-            if !seen[w] {
-                seen[w] = true;
-                queue.push(w);
-            }
-        }
-    }
-    seen
-}
-
-/// Recurrence bound of a node subset: smallest II with no positive cycle in
-/// the induced subgraph.
-fn subset_rec_bound(ddg: &Ddg, machine: &MachineConfig, members: &[OpId]) -> u32 {
-    let k = members.len();
-    if k == 0 {
-        return 1;
-    }
-    let mut pos = vec![usize::MAX; ddg.num_ops()];
-    for (i, m) in members.iter().enumerate() {
-        pos[m.index()] = i;
-    }
-    let edges: Vec<(usize, usize, i64, i64)> = ddg
-        .edges()
-        .filter(|e| pos[e.from().index()] != usize::MAX && pos[e.to().index()] != usize::MAX)
-        .map(|e| {
-            (
-                pos[e.from().index()],
-                pos[e.to().index()],
-                edge_latency(machine, ddg, e),
-                i64::from(e.distance()),
-            )
-        })
-        .collect();
-    let hi_bound: i64 = edges.iter().map(|&(_, _, l, _)| l.max(0)).sum::<i64>().max(1);
-    let feasible = |ii: i64| -> bool {
-        let mut dist = vec![NEG_INF; k * k];
-        for &(f, t, l, d) in &edges {
-            let w = l - ii * d;
-            if w > dist[f * k + t] {
-                dist[f * k + t] = w;
-            }
-        }
-        for m in 0..k {
-            for i in 0..k {
-                let dim = dist[i * k + m];
-                if dim == NEG_INF {
-                    continue;
-                }
-                for j in 0..k {
-                    let dmj = dist[m * k + j];
-                    if dmj == NEG_INF {
-                        continue;
-                    }
-                    if dim + dmj > dist[i * k + j] {
-                        dist[i * k + j] = dim + dmj;
-                    }
-                }
-                if dist[i * k + i] > 0 {
-                    return false;
-                }
-            }
-        }
-        (0..k).all(|i| dist[i * k + i] <= 0)
-    };
-    let (mut lo, mut hi) = (1i64, hi_bound);
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if feasible(mid) {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    u32::try_from(lo).unwrap_or(u32::MAX)
-}
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Direction {
@@ -319,14 +140,11 @@ enum Direction {
     BottomUp,
 }
 
-/// Produces the scheduling order as a list of group leaders.
-fn ordering(
-    ddg: &Ddg,
-    machine: &MachineConfig,
-    analysis: &TimeAnalysis,
-    groups: &ComplexGroups,
-) -> Vec<OpId> {
-    let sg = SuperGraph::new(ddg, groups);
+/// Produces the scheduling order as a list of group leaders, walking the
+/// context's precomputed priority sets with the timing analysis for this II.
+pub(crate) fn ordering_in(ctx: &LoopAnalysis<'_>, analysis: &TimeAnalysis) -> Vec<OpId> {
+    let groups = ctx.groups();
+    let sg = &ctx.sg;
     let g = groups.len();
 
     // Group-level priorities.
@@ -342,63 +160,10 @@ fn ordering(
     }
     let horizon: i64 = (0..g).map(|gi| g_alap[gi]).max().unwrap_or(0);
 
-    // Priority sets: recurrences sorted by decreasing RecMII bound, each
-    // augmented with the nodes on paths to/from previously chosen sets;
-    // one final set with everything else.
-    let sccs = sg.sccs();
-    let mut rec_sets: Vec<(u32, Vec<usize>)> = Vec::new();
-    for comp in &sccs {
-        let cyclic = comp.len() > 1 || sg.self_cyclic[comp[0]];
-        if cyclic {
-            let members: Vec<OpId> = comp
-                .iter()
-                .flat_map(|&gi| groups.members_of(groups.leader(gi)).iter().copied())
-                .collect();
-            let bound = subset_rec_bound(ddg, machine, &members);
-            rec_sets.push((bound, comp.clone()));
-        }
-    }
-    rec_sets.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-
-    let mut chosen = vec![false; g];
-    let mut sets: Vec<Vec<usize>> = Vec::new();
-    let mut chosen_list: Vec<usize> = Vec::new();
-    for (_, comp) in &rec_sets {
-        let mut set: Vec<usize> = comp.iter().copied().filter(|&x| !chosen[x]).collect();
-        if !chosen_list.is_empty() && !set.is_empty() {
-            // Path nodes between previously chosen sets and this recurrence.
-            let fwd_from_chosen = sg.forward_reach(&chosen_list);
-            let back_to_comp = sg.backward_reach(comp);
-            let fwd_from_comp = sg.forward_reach(comp);
-            let back_to_chosen = sg.backward_reach(&chosen_list);
-            for v in 0..g {
-                if chosen[v] || set.contains(&v) {
-                    continue;
-                }
-                let on_path = (fwd_from_chosen[v] && back_to_comp[v])
-                    || (fwd_from_comp[v] && back_to_chosen[v]);
-                if on_path {
-                    set.push(v);
-                }
-            }
-        }
-        if !set.is_empty() {
-            for &v in &set {
-                chosen[v] = true;
-                chosen_list.push(v);
-            }
-            sets.push(set);
-        }
-    }
-    let rest: Vec<usize> = (0..g).filter(|&v| !chosen[v]).collect();
-    if !rest.is_empty() {
-        sets.push(rest);
-    }
-
-    // Alternating-direction inner ordering.
+    // Alternating-direction inner ordering over the precomputed sets.
     let mut order: Vec<usize> = Vec::with_capacity(g);
     let mut ordered = vec![false; g];
-    for set in &sets {
+    for set in &ctx.sets {
         let mut remaining: BTreeSet<usize> = set.iter().copied().collect();
         while !remaining.is_empty() {
             let td: Vec<usize> = remaining
@@ -428,7 +193,7 @@ fn ordering(
                     (td.into_iter().collect(), Direction::TopDown)
                 };
             while let Some(v) =
-                pick(&frontier, &remaining, &sg, dir, &g_asap, &g_alap, &g_mob, horizon)
+                pick(&frontier, &remaining, sg, dir, &g_asap, &g_alap, &g_mob, horizon)
             {
                 frontier.remove(&v);
                 if !remaining.remove(&v) {
@@ -463,7 +228,7 @@ fn ordering(
 fn pick(
     frontier: &BTreeSet<usize>,
     remaining: &BTreeSet<usize>,
-    sg: &SuperGraph,
+    sg: &crate::loop_analysis::SuperGraph,
     dir: Direction,
     g_asap: &[i64],
     g_alap: &[i64],
@@ -530,34 +295,80 @@ pub(crate) enum PlaceMode {
     AsapClamped,
 }
 
+/// Reusable buffers for [`place_order`]'s inner slot search, allocated once
+/// per II sweep instead of per placement attempt.
+pub(crate) struct PlaceScratch {
+    /// Tentative start cycle per op (`None` = not yet placed).
+    start: Vec<Option<i64>>,
+    /// Members already committed to the MRT within one transactional slot
+    /// attempt (unwound on conflict).
+    done: Vec<(regpipe_ddg::OpKind, i64)>,
+}
+
+impl PlaceScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        PlaceScratch { start: vec![None; n], done: Vec::new() }
+    }
+}
+
+/// The slot sequence scanned for one group: at most II candidate start
+/// cycles, ascending or descending. Replaces a per-group `Vec<i64>`
+/// collection with a stack iterator.
+#[derive(Clone, Copy, Debug)]
+enum SlotScan {
+    /// `next..=last`, ascending (empty when `next > last`).
+    Up { next: i64, last: i64 },
+    /// `next..=last` descending, i.e. `next, next-1, …, last`.
+    Down { next: i64, last: i64 },
+}
+
+impl Iterator for SlotScan {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        match self {
+            SlotScan::Up { next, last } => {
+                if *next > *last {
+                    return None;
+                }
+                let t = *next;
+                *next += 1;
+                Some(t)
+            }
+            SlotScan::Down { next, last } => {
+                if *next < *last {
+                    return None;
+                }
+                let t = *next;
+                *next -= 1;
+                Some(t)
+            }
+        }
+    }
+}
+
 /// Places groups following `order`; returns per-op start cycles or `None`
 /// if some group cannot be placed at this II.
 pub(crate) fn place_order(
-    ddg: &Ddg,
-    machine: &MachineConfig,
+    ctx: &LoopAnalysis<'_>,
     ii: u32,
     order: &[OpId],
-    groups: &ComplexGroups,
     analysis: &TimeAnalysis,
     mode: PlaceMode,
+    scratch: &mut PlaceScratch,
 ) -> Option<Vec<i64>> {
-    let n = ddg.num_ops();
+    let ddg = ctx.ddg();
+    let groups = ctx.groups();
     let ii64 = i64::from(ii);
-    let mut start: Vec<Option<i64>> = vec![None; n];
-    let mut mrt = Mrt::new(machine, ii);
+    scratch.start.fill(None);
+    let start = &mut scratch.start;
+    let mut mrt = Mrt::new(ctx.machine(), ii);
 
     // Pre-check: free edges internal to a group must be consistent with the
     // bond offsets at this II.
-    for e in ddg.edges() {
-        if e.is_fixed() {
-            continue;
-        }
-        if groups.group_of(e.from()) == groups.group_of(e.to()) {
-            let sep = groups.offset(e.to()) - groups.offset(e.from());
-            let need = edge_latency(machine, ddg, e) - ii64 * i64::from(e.distance());
-            if sep < need {
-                return None;
-            }
+    for e in &ctx.intra_free {
+        if e.sep < e.lat - ii64 * e.dist {
+            return None;
         }
     }
 
@@ -570,24 +381,15 @@ pub(crate) fn place_order(
         let mut late: Option<i64> = None;
         for &m in members {
             let m_off = groups.offset(m);
-            for e in ddg.in_edges(m) {
-                if groups.group_of(e.from()) == groups.group_of(m) {
-                    continue;
-                }
-                if let Some(tp) = start[e.from().index()] {
-                    let c = tp + edge_latency(machine, ddg, e)
-                        - ii64 * i64::from(e.distance())
-                        - m_off;
+            for e in &ctx.in_cross[m.index()] {
+                if let Some(tp) = start[e.other] {
+                    let c = tp + e.lat - ii64 * e.dist - m_off;
                     early = Some(early.map_or(c, |x: i64| x.max(c)));
                 }
             }
-            for e in ddg.out_edges(m) {
-                if groups.group_of(e.to()) == groups.group_of(m) {
-                    continue;
-                }
-                if let Some(ts) = start[e.to().index()] {
-                    let c = ts - edge_latency(machine, ddg, e) + ii64 * i64::from(e.distance())
-                        - m_off;
+            for e in &ctx.out_cross[m.index()] {
+                if let Some(ts) = start[e.other] {
+                    let c = ts - e.lat + ii64 * e.dist - m_off;
                     late = Some(late.map_or(c, |x: i64| x.min(c)));
                 }
             }
@@ -601,7 +403,7 @@ pub(crate) fn place_order(
             .expect("groups are non-empty");
 
         // Candidate slots, at most II of them.
-        let candidates: Vec<i64> = match (early, late) {
+        let candidates: SlotScan = match (early, late) {
             (Some(e), Some(l)) => {
                 if l < e {
                     return None;
@@ -617,40 +419,40 @@ pub(crate) fn place_order(
                         }
                     }
                 };
-                (lo..=l.min(lo + ii64 - 1)).collect()
+                SlotScan::Up { next: lo, last: l.min(lo + ii64 - 1) }
             }
             (Some(e), None) => {
                 let lo = match mode {
                     PlaceMode::Hrms => e,
                     PlaceMode::AsapClamped => e.max(g_asap),
                 };
-                (lo..lo + ii64).collect()
+                SlotScan::Up { next: lo, last: lo + ii64 - 1 }
             }
             (None, Some(l)) => match mode {
                 // Scan downward: place as late as possible, next to the
                 // already-scheduled consumers.
-                PlaceMode::Hrms => (0..ii64).map(|k| l - k).collect(),
+                PlaceMode::Hrms => SlotScan::Down { next: l, last: l - ii64 + 1 },
                 PlaceMode::AsapClamped => {
                     if l < g_asap {
                         return None;
                     }
-                    (g_asap..=l.min(g_asap + ii64 - 1)).collect()
+                    SlotScan::Up { next: g_asap, last: l.min(g_asap + ii64 - 1) }
                 }
             },
-            (None, None) => (g_asap..g_asap + ii64).collect(),
+            (None, None) => SlotScan::Up { next: g_asap, last: g_asap + ii64 - 1 },
         };
 
         let mut placed_at: Option<i64> = None;
         'slots: for t in candidates {
             // Transactionally place all members.
-            let mut done: Vec<(regpipe_ddg::OpKind, i64)> = Vec::new();
+            scratch.done.clear();
             for &m in members {
                 let kind = ddg.op(m).kind();
                 let cycle = t + groups.offset(m);
                 if mrt.try_place(kind, cycle) {
-                    done.push((kind, cycle));
+                    scratch.done.push((kind, cycle));
                 } else {
-                    for (k, c) in done.drain(..) {
+                    for (k, c) in scratch.done.drain(..) {
                         mrt.remove(k, c);
                     }
                     continue 'slots;
@@ -664,12 +466,13 @@ pub(crate) fn place_order(
             start[m.index()] = Some(t + groups.offset(m));
         }
     }
-    Some(start.into_iter().map(|t| t.expect("all ops ordered")).collect())
+    Some(start.iter().map(|t| t.expect("all ops ordered")).collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{mii, SchedError};
     use regpipe_ddg::DdgBuilder;
     use regpipe_ddg::OpKind;
 
@@ -791,6 +594,38 @@ mod tests {
             .schedule(&g, &m, &SchedRequest { min_ii: None, max_ii: Some(3) })
             .unwrap_err();
         assert!(matches!(err, SchedError::InfeasibleRequest { .. }));
+    }
+
+    /// An explicit `max_ii` is the search ceiling, verbatim: large enough to
+    /// succeed, it caps nothing; one short of the only feasible II, the
+    /// search exhausts with `NoScheduleUpTo` at exactly that bound. (This
+    /// pins the simplification of a historical no-op
+    /// `.max(request.max_ii.unwrap_or(0))` in the ceiling computation.)
+    #[test]
+    fn explicit_max_ii_is_honoured_verbatim() {
+        let mut b = DdgBuilder::new("m");
+        let a = b.add_op(OpKind::Add, "a");
+        let c = b.add_op(OpKind::Add, "c");
+        b.reg(a, c);
+        b.reg_dist(c, a, 1); // MII 8 on P1L4
+        let g = b.build().unwrap();
+        let m = MachineConfig::p1l4();
+        let sched = HrmsScheduler::new()
+            .schedule(&g, &m, &SchedRequest { min_ii: None, max_ii: Some(8) })
+            .expect("II 8 is feasible");
+        assert_eq!(sched.ii(), 8);
+        // A ceiling above the fallback bound must still be respected as
+        // given (the old dead expression could never change it either).
+        let huge = crate::fallback_max_ii(&g, &m) + 100;
+        let sched = HrmsScheduler::new()
+            .schedule(&g, &m, &SchedRequest { min_ii: None, max_ii: Some(huge) })
+            .unwrap();
+        assert_eq!(sched.ii(), 8, "search still stops at the first feasible II");
+        // min_ii above every feasible II with a matching max_ii: exhausted.
+        let err = HrmsScheduler::new()
+            .schedule(&g, &m, &SchedRequest { min_ii: Some(9), max_ii: Some(7) })
+            .unwrap_err();
+        assert!(matches!(err, SchedError::InfeasibleRequest { min_ii: 9, max_ii: 7 }));
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod asap_sched;
 mod groups;
 mod hrms;
 mod kernel;
+mod loop_analysis;
 mod pipeline;
 mod recmii;
 mod schedule;
@@ -66,6 +67,7 @@ pub use asap_sched::AsapScheduler;
 pub use groups::ComplexGroups;
 pub use hrms::HrmsScheduler;
 pub use kernel::{Kernel, KernelSlot};
+pub use loop_analysis::LoopAnalysis;
 pub use pipeline::{PipelinedLoop, TraceEntry};
 pub use recmii::{per_recurrence_bounds, rec_mii, RecurrenceBound};
 pub use schedule::{Schedule, VerifyError};
@@ -172,6 +174,27 @@ pub trait Scheduler {
         machine: &MachineConfig,
         request: &SchedRequest,
     ) -> Result<Schedule, SchedError>;
+
+    /// Schedules within a prebuilt [`LoopAnalysis`] context, letting
+    /// repeated calls on the same loop (II sweeps, best-of-all probes,
+    /// spill rounds between graph rewrites) share every II-independent
+    /// computation.
+    ///
+    /// The default implementation ignores the cache and calls
+    /// [`Scheduler::schedule`]; the bundled schedulers override it. Results
+    /// must be identical either way — the context is a pure function of
+    /// `(ddg, machine)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Scheduler::schedule`].
+    fn schedule_in(
+        &self,
+        ctx: &LoopAnalysis<'_>,
+        request: &SchedRequest,
+    ) -> Result<Schedule, SchedError> {
+        self.schedule(ctx.ddg(), ctx.machine(), request)
+    }
 }
 
 /// A defensive upper bound on the II at which scheduling always succeeds:

@@ -5,73 +5,194 @@ use regpipe_ddg::{Ddg, OpId};
 use regpipe_machine::MachineConfig;
 
 use crate::edge_latency;
-
-const NEG_INF: i64 = i64::MIN / 4;
+use crate::loop_analysis::{timed_edges, TimedEdge};
 
 /// Computes `RecMII`: the smallest II such that no dependence cycle is
 /// over-constrained, i.e. for every cycle `C`, `Lat(C) ≤ II · Dist(C)`
 /// (paper Section 2.2). Returns 1 for acyclic graphs.
 ///
 /// Implemented as a binary search over II with positive-cycle detection on
-/// edge weights `lat(e) − II·δ(e)` (Floyd–Warshall longest paths), which is
+/// edge weights `lat(e) − II·δ(e)` (Bellman–Ford longest-path relaxation:
+/// failure to converge within `n` passes proves a positive cycle), which is
 /// exact and avoids enumerating the possibly-exponential set of circuits.
+/// One relaxation-state buffer is allocated for the whole search and reused
+/// across probes, and every infeasible probe extracts a positive-weight
+/// circuit from the predecessor graph — `⌈Lat/Dist⌉` of that circuit is a
+/// valid lower bound that usually collapses the remaining search range in
+/// one step.
 pub fn rec_mii(ddg: &Ddg, machine: &MachineConfig) -> u32 {
-    if recurrences(ddg).is_empty() {
+    rec_mii_over(ddg.num_ops(), &timed_edges(ddg, machine), !recurrences(ddg).is_empty())
+}
+
+/// [`rec_mii`] over pre-resolved edge timings (the cached entry point used
+/// by [`crate::LoopAnalysis`]). `has_recurrence` short-circuits acyclic
+/// graphs to 1 exactly as the standalone function does.
+pub(crate) fn rec_mii_over(n: usize, edges: &[TimedEdge], has_recurrence: bool) -> u32 {
+    if !has_recurrence {
         return 1;
     }
     // Upper bound: any circuit's latency is at most the sum of all edge
     // latencies, and its distance is at least 1.
-    let hi_bound: i64 =
-        ddg.edges().map(|e| edge_latency(machine, ddg, e).max(0)).sum::<i64>().max(1);
+    let hi_bound: i64 = edges.iter().map(|e| e.lat.max(0)).sum::<i64>().max(1);
+    let mut scratch = CycleScratch::new(n);
     let mut lo = 1u32;
     let mut hi = u32::try_from(hi_bound).unwrap_or(u32::MAX);
-    // Invariant: feasible(hi) is true, feasible(lo - 1)... lo may be feasible.
+    // Invariant: feasible(hi) is true, feasible(lo - 1) is false (or lo=1).
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if has_positive_cycle(ddg, machine, mid) {
-            lo = mid + 1;
-        } else {
-            hi = mid;
+        match scratch.positive_cycle(edges, mid) {
+            Some(circuit) => lo = circuit.bound().max(mid + 1).min(hi),
+            None => hi = mid,
         }
     }
     lo
 }
 
-/// Whether the graph has a cycle with positive total weight under
-/// `w(e) = lat(e) − II·δ(e)`.
-fn has_positive_cycle(ddg: &Ddg, machine: &MachineConfig, ii: u32) -> bool {
-    let n = ddg.num_ops();
-    let mut dist = vec![NEG_INF; n * n];
-    for e in ddg.edges() {
-        let w = edge_latency(machine, ddg, e) - i64::from(ii) * i64::from(e.distance());
-        let idx = e.from().index() * n + e.to().index();
-        if w > dist[idx] {
-            dist[idx] = w;
+/// A positive-weight circuit found by a RecMII probe: its total latency and
+/// dependence distance.
+#[derive(Clone, Copy, Debug)]
+struct CriticalCycle {
+    latency: i64,
+    distance: i64,
+}
+
+impl CriticalCycle {
+    /// The II bound this circuit implies. The circuit is a genuine cycle of
+    /// the graph, so `RecMII ≥ ⌈latency/distance⌉`; found at an infeasible
+    /// probe, the bound is combined with `mid + 1` by the caller (the
+    /// predecessor graph can in principle yield a zero-weight cycle, whose
+    /// bound degenerates to `mid`).
+    fn bound(self) -> u32 {
+        if self.distance <= 0 {
+            return 1; // malformed (validation forbids 0-distance cycles)
+        }
+        let b = (self.latency + self.distance - 1) / self.distance;
+        u32::try_from(b.max(1)).unwrap_or(u32::MAX)
+    }
+}
+
+/// Reusable Bellman–Ford state for positive-cycle probes: per-node path
+/// values and predecessor edges, reset (not reallocated) per probe.
+struct CycleScratch {
+    n: usize,
+    val: Vec<i64>,
+    /// Index into the probe's edge list of the relaxation that last raised
+    /// each node; `usize::MAX` when the node still sits at its 0 init.
+    pred: Vec<usize>,
+    /// Walk buffer for circuit extraction.
+    seen_at: Vec<usize>,
+}
+
+impl CycleScratch {
+    fn new(n: usize) -> Self {
+        CycleScratch { n, val: vec![0; n], pred: vec![usize::MAX; n], seen_at: vec![0; n] }
+    }
+
+    /// Probes one II: `Some(circuit)` when a positive-weight cycle exists
+    /// under `w(e) = lat(e) − II·δ(e)` (i.e. the II is infeasible), `None`
+    /// when the II satisfies every recurrence.
+    ///
+    /// Longest-path relaxation from an all-zero init converges within `n`
+    /// passes exactly when no positive cycle exists (simple paths have at
+    /// most `n − 1` edges); one more changing pass proves infeasibility,
+    /// and walking the predecessor edges from a node updated in that pass
+    /// lands on a circuit of non-negative weight whose `⌈Lat/Dist⌉` seeds
+    /// the search's next lower bound.
+    fn positive_cycle(&mut self, edges: &[TimedEdge], ii: u32) -> Option<CriticalCycle> {
+        let n = self.n;
+        if n == 0 {
+            return None;
+        }
+        self.val.fill(0);
+        self.pred.fill(usize::MAX);
+        let ii64 = i64::from(ii);
+        let mut last_raised = usize::MAX;
+        for _pass in 0..=n {
+            let mut changed = false;
+            for (idx, e) in edges.iter().enumerate() {
+                let cand = self.val[e.from] + e.lat - ii64 * e.dist;
+                if cand > self.val[e.to] {
+                    self.val[e.to] = cand;
+                    self.pred[e.to] = idx;
+                    last_raised = e.to;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return None;
+            }
+        }
+        Some(self.extract_cycle(edges, last_raised))
+    }
+
+    /// Walks predecessor edges from `start` until a node repeats, then sums
+    /// the latencies/distances around the repeated segment. A predecessor
+    /// chain after `n` changing passes is longer than any simple path, so a
+    /// repeat is guaranteed; if the walk falls off a 0-init node anyway
+    /// (defensive), the degenerate `(0, 0)` circuit makes [`bound`]
+    /// harmless.
+    fn extract_cycle(&mut self, edges: &[TimedEdge], start: usize) -> CriticalCycle {
+        const UNSEEN: usize = usize::MAX;
+        self.seen_at.fill(UNSEEN);
+        let mut path: Vec<usize> = Vec::new(); // edge indices walked
+        let mut v = start;
+        loop {
+            if self.seen_at[v] != UNSEEN {
+                // The walk from `seen_at[v]` onward is the circuit.
+                let mut latency = 0i64;
+                let mut distance = 0i64;
+                for &idx in &path[self.seen_at[v]..] {
+                    latency += edges[idx].lat;
+                    distance += edges[idx].dist;
+                }
+                return CriticalCycle { latency, distance };
+            }
+            self.seen_at[v] = path.len();
+            let idx = self.pred[v];
+            if idx == usize::MAX {
+                return CriticalCycle { latency: 0, distance: 0 };
+            }
+            path.push(idx);
+            v = edges[idx].from;
         }
     }
-    // Floyd–Warshall longest paths with early positive-diagonal exit.
-    for k in 0..n {
-        for i in 0..n {
-            let dik = dist[i * n + k];
-            if dik == NEG_INF {
-                continue;
-            }
-            for j in 0..n {
-                let dkj = dist[k * n + j];
-                if dkj == NEG_INF {
-                    continue;
-                }
-                let cand = dik + dkj;
-                if cand > dist[i * n + j] {
-                    dist[i * n + j] = cand;
-                }
-            }
-            if dist[i * n + i] > 0 {
-                return true;
-            }
+}
+
+/// Recurrence bound of a node subset: the smallest II with no positive
+/// cycle in the induced subgraph (used by the ordering phase to rank
+/// recurrence sets; II-independent, so [`crate::LoopAnalysis`] computes it
+/// once per loop).
+pub(crate) fn subset_rec_bound(ddg: &Ddg, machine: &MachineConfig, members: &[OpId]) -> u32 {
+    let k = members.len();
+    if k == 0 {
+        return 1;
+    }
+    let mut pos = vec![usize::MAX; ddg.num_ops()];
+    for (i, m) in members.iter().enumerate() {
+        pos[m.index()] = i;
+    }
+    let edges: Vec<TimedEdge> = ddg
+        .edges()
+        .filter(|e| pos[e.from().index()] != usize::MAX && pos[e.to().index()] != usize::MAX)
+        .map(|e| TimedEdge {
+            from: pos[e.from().index()],
+            to: pos[e.to().index()],
+            lat: edge_latency(machine, ddg, e),
+            dist: i64::from(e.distance()),
+        })
+        .collect();
+    let hi_bound: i64 = edges.iter().map(|e| e.lat.max(0)).sum::<i64>().max(1);
+    let mut scratch = CycleScratch::new(k);
+    let mut lo = 1u32;
+    let mut hi = u32::try_from(hi_bound).unwrap_or(u32::MAX);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match scratch.positive_cycle(&edges, mid) {
+            Some(circuit) => lo = circuit.bound().max(mid + 1).min(hi),
+            None => hi = mid,
         }
     }
-    (0..n).any(|i| dist[i * n + i] > 0)
+    lo
 }
 
 /// The II bound contributed by one recurrence.

@@ -67,4 +67,4 @@ mod rewrite;
 
 pub use candidate::{candidates, select, select_batch, SelectHeuristic, SpillCandidate};
 pub use dce::{eliminate_dead_ops, DceReport};
-pub use rewrite::{spill, SpillOptimization, SpillReport};
+pub use rewrite::{spill, spill_batch, SpillOptimization, SpillReport};

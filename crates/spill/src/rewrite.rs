@@ -81,6 +81,26 @@ pub fn spill(ddg: &mut Ddg, candidate: &SpillCandidate) -> SpillReport {
     }
 }
 
+/// Applies a whole round of victims in order, returning one report per
+/// rewrite.
+///
+/// This is the drivers' single graph-mutation point — and therefore the
+/// *invalidation point* for every cached per-loop analysis: any
+/// `regpipe_sched::LoopAnalysis` built from `ddg` is stale once this
+/// returns and must be rebuilt before the next schedule call. (The borrow
+/// checker enforces this for contexts that borrow `ddg`; the rule matters
+/// for code holding clones or derived data.)
+///
+/// # Panics
+///
+/// As for [`spill`]: panics on stale candidates. All victims of a round
+/// must come from one [`candidates`](crate::candidates) enumeration of the
+/// *current* graph, and a multi-victim batch is sound because selection
+/// never returns two candidates for the same value.
+pub fn spill_batch(ddg: &mut Ddg, victims: &[SpillCandidate]) -> Vec<SpillReport> {
+    victims.iter().map(|victim| spill(ddg, victim)).collect()
+}
+
 fn spill_variant(ddg: &mut Ddg, producer: OpId) -> SpillReport {
     assert!(ddg.is_value_spillable(producer), "stale candidate: {producer} is not spillable");
     let producer_name = ddg.op(producer).name().to_string();

@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         Some("suite") => cmd_suite(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         // Help goes to stdout and succeeds; `regpipe help <command>`
         // narrows to one subcommand.
         Some("--help" | "-h" | "help") | None => {
@@ -108,15 +109,34 @@ regpipe check <dir>
   .mach file, reporting every problem as file:line: message. Exits 0
   only if the whole corpus is well-formed.
 ";
+    let bench_ = "\
+regpipe bench [options]
+  Wall-time the full compile path (schedule/allocate/spill/reschedule)
+  over seeded `gen` corpora at several kernel sizes and write the result
+  as machine-readable JSON (schema regpipe-bench-compile/v1). By default
+  only deterministic work counters are emitted so runs byte-compare;
+  set REGPIPE_BENCH_TIMING=1 to run the sampling loop and include
+  mean_wall_us per size (see docs/performance.md).
+  --sizes <list>    comma-separated op counts    (default 16,48,96,160,256)
+  --count <k>       kernels per size             (default 12)
+  --seed <s>        generator seed               (default 49626)
+  --machine <m>     as for compile               (default p2l4)
+  --budgets <list>  register budgets             (default 64,32)
+  --strategies <l>  strategies                   (default best,spill,increase-ii)
+  --before <file>   a previous timed BENCH_compile.json; records its
+                    mean_wall_us per size plus the speedup in the output
+  --out <file>      report path                  (default BENCH_compile.json)
+";
     match topic {
         Some("info") => info.to_string(),
         Some("compile") => compile_.to_string(),
         Some("suite") => suite_.to_string(),
         Some("gen") => gen_.to_string(),
         Some("check") => check_.to_string(),
+        Some("bench") => bench_.to_string(),
         _ => format!(
-            "usage: regpipe <info|compile|suite|gen|check|help> ...\n\n\
-             {info}\n{compile_}\n{suite_}\n{gen_}\n{check_}\n\
+            "usage: regpipe <info|compile|suite|gen|check|bench|help> ...\n\n\
+             {info}\n{compile_}\n{suite_}\n{gen_}\n{check_}\n{bench_}\n\
              The on-disk formats (.ddg loops, .mach machine descriptions, corpus\n\
              directory layout) are specified in docs/formats.md.\n"
         ),
@@ -469,6 +489,93 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let loops = generate(seed, count, &params)?;
     write_corpus(dir, &loops)?;
     println!("wrote {} kernels to {dir}/ (seed {seed})", loops.len());
+    Ok(())
+}
+
+/// `regpipe bench`: wall-time the compile path over generated corpora.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let defaults = regpipe::bench::CompileBenchConfig::default();
+    let list_usize = |raw: &str, flag: &str| -> Result<Vec<usize>, String> {
+        raw.split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 1)
+                    .ok_or_else(|| format!("{flag}: bad entry '{s}' (need integers > 1)"))
+            })
+            .collect()
+    };
+    let config = regpipe::bench::CompileBenchConfig {
+        seed: match flags.get("--seed") {
+            None => defaults.seed,
+            Some(raw) => raw.parse().map_err(|_| "bad --seed value".to_string())?,
+        },
+        count: match flags.get("--count") {
+            None => defaults.count,
+            Some(raw) => raw
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or("--count must be a positive integer")?,
+        },
+        sizes: match flags.get("--sizes") {
+            None => defaults.sizes,
+            Some(raw) => list_usize(raw, "--sizes")?,
+        },
+        budgets: match flags.get("--budgets") {
+            None => defaults.budgets,
+            Some(raw) => raw
+                .split(',')
+                .map(|b| b.parse::<u32>().map_err(|_| format!("bad budget '{b}' in --budgets")))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        strategies: match flags.get("--strategies") {
+            None => defaults.strategies,
+            Some(raw) => raw.split(',').map(parse_strategy).collect::<Result<Vec<_>, _>>()?,
+        },
+        machine: parse_machine(flags.get("--machine").unwrap_or("p2l4"))?,
+        timed: std::env::var("REGPIPE_BENCH_TIMING").is_ok_and(|v| v == "1"),
+    };
+    let before = match flags.get("--before") {
+        None => None,
+        Some(path) => {
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(
+                regpipe::exec::json::parse(&text)
+                    .map_err(|e| format!("{path} is not valid JSON: {e}"))?,
+            )
+        }
+    };
+    let out_path = flags.get("--out").unwrap_or("BENCH_compile.json");
+
+    let report =
+        regpipe::bench::run_compile_bench(&config).map_err(|e| format!("bench: {e}"))?;
+    println!(
+        "=== compile-path bench: machine {}, {} kernels/size, budgets {:?} ===",
+        config.machine.name(),
+        config.count,
+        config.budgets
+    );
+    println!(
+        "{:<6} {:>6} {:>7} {:>7} {:>12} {:>9} {:>9}  mean wall",
+        "ops", "cells", "fitted", "failed", "cycles", "spilled", "resched"
+    );
+    for p in &report.points {
+        let wall = p.measurement.map_or_else(
+            || "(untimed)".to_string(),
+            |m| format!("{:.2} ms x{}", m.mean_nanos() as f64 / 1e6, m.iters),
+        );
+        println!(
+            "{:<6} {:>6} {:>7} {:>7} {:>12} {:>9} {:>9}  {wall}",
+            p.ops, p.cells, p.fitted, p.failures, p.cycles, p.spilled, p.reschedules
+        );
+    }
+    fs::write(out_path, report.to_json(before.as_ref()))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
     Ok(())
 }
 

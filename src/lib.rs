@@ -25,6 +25,9 @@
 //! * [`exec`] — the deterministic multi-threaded batch-compilation engine
 //!   (`BatchRequest` → `BatchReport`) behind `regpipe suite` and the
 //!   `expt_*` harness, with its `BENCH_suite.json` report format.
+//! * [`bench`](mod@bench) — the experiment drivers reproducing the paper's tables and
+//!   figures, plus the `regpipe bench` compile-path timing harness and its
+//!   `BENCH_compile.json` report format.
 //!
 //! The on-disk interchange formats (`.ddg` loops, `.mach` machine
 //! descriptions, corpus directory layout) are specified in
@@ -49,6 +52,7 @@
 // Every public item of this crate is documented; CI turns gaps into errors.
 #![warn(missing_docs)]
 
+pub use regpipe_bench as bench;
 pub use regpipe_core as core;
 pub use regpipe_ddg as ddg;
 pub use regpipe_exec as exec;
