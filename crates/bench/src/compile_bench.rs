@@ -17,6 +17,7 @@ use regpipe_exec::json::Value;
 use regpipe_exec::strategy_slug;
 use regpipe_loops::{generate, BenchLoop, GenParams};
 use regpipe_machine::MachineConfig;
+use regpipe_sched::SchedulerKind;
 
 /// Configuration of one `regpipe bench` run.
 #[derive(Clone, Debug)]
@@ -31,6 +32,8 @@ pub struct CompileBenchConfig {
     pub budgets: Vec<u32>,
     /// Strategies per cell.
     pub strategies: Vec<Strategy>,
+    /// The core modulo scheduler every cell runs (`--scheduler`).
+    pub scheduler: SchedulerKind,
     /// Machine model.
     pub machine: MachineConfig,
     /// Whether to run the sampling loop and include wall-time fields.
@@ -47,6 +50,7 @@ impl Default for CompileBenchConfig {
             sizes: vec![16, 48, 96, 160, 256],
             budgets: vec![64, 32],
             strategies: vec![Strategy::BestOfAll, Strategy::Spill, Strategy::IncreaseIi],
+            scheduler: SchedulerKind::default(),
             machine: MachineConfig::p2l4(),
             timed: false,
         }
@@ -94,7 +98,11 @@ fn sweep(loops: &[BenchLoop], cfg: &CompileBenchConfig) -> (u32, u32, u64, u64, 
     for l in loops {
         for &budget in &cfg.budgets {
             for &strategy in &cfg.strategies {
-                let options = CompileOptions { strategy, ..CompileOptions::default() };
+                let options = CompileOptions {
+                    strategy,
+                    scheduler: cfg.scheduler,
+                    ..CompileOptions::default()
+                };
                 match compile(&l.ddg, &cfg.machine, budget, &options) {
                     Ok(c) => {
                         fitted += 1;
@@ -140,7 +148,9 @@ pub fn run_compile_bench(cfg: &CompileBenchConfig) -> Result<CompileBenchReport,
 }
 
 impl CompileBenchReport {
-    /// Renders `BENCH_compile.json` (schema `regpipe-bench-compile/v1`).
+    /// Renders `BENCH_compile.json` (schema `regpipe-bench-compile/v2`;
+    /// v2 added the top-level `scheduler` field recording the scheduler
+    /// axis of the run).
     ///
     /// Deterministic fields always appear; `mean_wall_us`/`iters` only for
     /// timed runs. When `before` carries a previously emitted *timed*
@@ -166,8 +176,9 @@ impl CompileBenchReport {
             .unwrap_or_default();
 
         let mut top = vec![
-            ("schema".to_string(), Value::Str("regpipe-bench-compile/v1".into())),
+            ("schema".to_string(), Value::Str("regpipe-bench-compile/v2".into())),
             ("machine".to_string(), Value::Str(self.config.machine.name().to_string())),
+            ("scheduler".to_string(), Value::Str(self.config.scheduler.slug().into())),
             ("seed".to_string(), Value::uint(self.config.seed)),
             ("count_per_size".to_string(), Value::uint(self.config.count as u64)),
             (
@@ -254,8 +265,19 @@ mod tests {
         assert_eq!(a, b, "two untimed runs must render byte-identically");
         assert!(!a.contains("mean_wall_us"));
         let doc = regpipe_exec::json::parse(&a).expect("report parses");
-        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-compile/v1".into())));
+        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-compile/v2".into())));
+        assert_eq!(doc.get("scheduler"), Some(&Value::Str("hrms".into())));
         assert_eq!(doc.get("sizes").and_then(Value::as_array).map(<[Value]>::len), Some(2));
+    }
+
+    /// A non-default scheduler flows into every cell and into the report's
+    /// top-level `scheduler` field.
+    #[test]
+    fn scheduler_axis_is_recorded() {
+        let cfg = CompileBenchConfig { scheduler: SchedulerKind::Sms, ..tiny() };
+        let text = run_compile_bench(&cfg).unwrap().to_json(None);
+        let doc = regpipe_exec::json::parse(&text).expect("report parses");
+        assert_eq!(doc.get("scheduler"), Some(&Value::Str("sms".into())));
     }
 
     #[test]

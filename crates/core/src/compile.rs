@@ -6,7 +6,7 @@ use std::fmt;
 use regpipe_ddg::Ddg;
 use regpipe_machine::MachineConfig;
 use regpipe_regalloc::AllocationResult;
-use regpipe_sched::{Kernel, Schedule};
+use regpipe_sched::{Kernel, Schedule, SchedulerKind};
 use regpipe_spill::SelectHeuristic;
 
 use crate::best_of_all::{BestOfAllDriver, Winner};
@@ -30,13 +30,21 @@ pub enum Strategy {
 pub struct CompileOptions {
     /// The strategy; defaults to [`Strategy::BestOfAll`].
     pub strategy: Strategy,
+    /// The core modulo scheduler every driver round runs; defaults to the
+    /// paper's [`SchedulerKind::Hrms`]. The strategies are
+    /// scheduler-agnostic, so `strategy × scheduler` is a full matrix.
+    pub scheduler: SchedulerKind,
     /// Spill-driver tuning (heuristic + accelerations).
     pub spill: SpillDriverOptions,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { strategy: Strategy::BestOfAll, spill: SpillDriverOptions::default() }
+        CompileOptions {
+            strategy: Strategy::BestOfAll,
+            scheduler: SchedulerKind::default(),
+            spill: SpillDriverOptions::default(),
+        }
     }
 }
 
@@ -170,7 +178,7 @@ pub fn compile(
 ) -> Result<CompiledLoop, CompileError> {
     match options.strategy {
         Strategy::IncreaseIi => {
-            let out = IncreaseIiDriver::new()
+            let out = IncreaseIiDriver::with_scheduler(options.scheduler)
                 .run(ddg, machine, regs)
                 .map_err(CompileError::IncreaseIi)?;
             Ok(CompiledLoop {
@@ -183,7 +191,7 @@ pub fn compile(
             })
         }
         Strategy::Spill => {
-            let out = SpillDriver::new(options.spill)
+            let out = SpillDriver::with_scheduler(options.scheduler, options.spill)
                 .run(ddg, machine, regs)
                 .map_err(CompileError::Spill)?;
             Ok(CompiledLoop {
@@ -196,7 +204,7 @@ pub fn compile(
             })
         }
         Strategy::BestOfAll => {
-            let out = BestOfAllDriver::new(options.spill)
+            let out = BestOfAllDriver::with_scheduler(options.scheduler, options.spill)
                 .run(ddg, machine, regs)
                 .map_err(CompileError::Spill)?;
             let strategy_used = match out.winner {
@@ -295,6 +303,25 @@ mod tests {
         .unwrap();
         let both = compile(&g, &m, 4, &CompileOptions::default()).unwrap();
         assert!(both.ii() <= spill.ii());
+    }
+
+    /// Every cell of the scheduler × strategy matrix compiles, meets its
+    /// budget, and verifies; the scheduler flows through every driver.
+    #[test]
+    fn scheduler_strategy_matrix_compiles_and_verifies() {
+        let g = stencil();
+        let m = MachineConfig::p2l4();
+        for scheduler in SchedulerKind::ALL {
+            for strategy in [Strategy::IncreaseIi, Strategy::Spill, Strategy::BestOfAll] {
+                let options =
+                    CompileOptions { strategy, scheduler, ..CompileOptions::default() };
+                let c = compile(&g, &m, 6, &options)
+                    .unwrap_or_else(|e| panic!("{scheduler}/{strategy:?}: {e}"));
+                assert!(c.registers_used() <= 6, "{scheduler}/{strategy:?}");
+                c.schedule().verify(c.ddg(), &m).unwrap();
+                assert_eq!(c.schedule().scheduler(), scheduler.slug());
+            }
+        }
     }
 
     #[test]

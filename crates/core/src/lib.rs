@@ -20,6 +20,12 @@
 //!   probe the unspilled loop at IIs up to the spill result's II (binary
 //!   search); keep whichever schedule is better.
 //!
+//! All three drivers are generic over the core modulo scheduler — the
+//! paper's framework "can be applied to any software pipelining
+//! technique" — and [`CompileOptions::scheduler`] selects one from the
+//! `regpipe_sched` registry (`SchedulerKind`: HRMS, SMS, or the ASAP
+//! baseline), making `strategy × scheduler` a full evaluation matrix.
+//!
 //! The one-call entry point is [`compile`].
 //!
 //! ```
@@ -54,7 +60,10 @@ mod spill_driver;
 
 pub use best_of_all::{BestOfAllDriver, BestOfAllOutcome, Winner};
 pub use compile::{compile, CompileError, CompileOptions, CompiledLoop, Strategy};
+// Part of `CompileOptions`' public surface: downstream crates select the
+// scheduler axis without depending on `regpipe_sched` directly.
 pub use increase_ii::{IiSweepPoint, IncreaseIiDriver, IncreaseIiFailure, IncreaseIiOutcome};
+pub use regpipe_sched::SchedulerKind;
 pub use spill_driver::{
     SpillDriver, SpillDriverOptions, SpillFailure, SpillOutcome, SpillTracePoint,
 };

@@ -120,6 +120,9 @@ pub struct BatchAggregate {
 pub struct BatchReport {
     /// Machine name (e.g. `P2L4`).
     pub machine: String,
+    /// Canonical slug of the core scheduler every cell ran
+    /// (`hrms`/`sms`/`asap`, from [`CompileOptions::scheduler`]).
+    pub scheduler: String,
     /// Number of loops in the suite.
     pub suite_size: usize,
     /// Worker threads the run used (metadata only; results are identical
@@ -166,7 +169,8 @@ impl BatchReport {
     }
 
     /// Renders the report as `BENCH_suite.json` (schema
-    /// `regpipe-bench-suite/v1`).
+    /// `regpipe-bench-suite/v2`; v2 added the top-level `scheduler` field
+    /// recording the scheduler axis of the run).
     ///
     /// With `include_timing = false` (the default for emitted files) the
     /// rendering contains only deterministic fields and is byte-identical
@@ -174,8 +178,9 @@ impl BatchReport {
     /// and aggregate plus `total_wall_us` and `jobs` at the top level.
     pub fn to_json(&self, include_timing: bool) -> String {
         let mut top = vec![
-            ("schema".to_string(), Value::Str("regpipe-bench-suite/v1".into())),
+            ("schema".to_string(), Value::Str("regpipe-bench-suite/v2".into())),
             ("machine".to_string(), Value::Str(self.machine.clone())),
+            ("scheduler".to_string(), Value::Str(self.scheduler.clone())),
             ("suite_size".to_string(), Value::uint(self.suite_size as u64)),
         ];
         if include_timing {
@@ -325,6 +330,7 @@ pub fn run_batch(loops: &[BenchLoop], req: &BatchRequest) -> BatchReport {
     });
     BatchReport {
         machine: req.machine.name().to_string(),
+        scheduler: req.options.scheduler.slug().to_string(),
         suite_size: loops.len(),
         jobs: req.jobs.get(),
         cells,
@@ -378,11 +384,31 @@ mod tests {
         let report = run_batch(&loops, &request(2));
         let text = report.to_json(false);
         let doc = crate::json::parse(&text).expect("report JSON parses");
-        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-suite/v1".into())));
+        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-suite/v2".into())));
+        assert_eq!(doc.get("scheduler"), Some(&Value::Str("hrms".into())));
         assert!(!text.contains("wall_us"));
         let timed = report.to_json(true);
         assert!(timed.contains("wall_us"));
         crate::json::parse(&timed).expect("timed report JSON parses");
+    }
+
+    /// The scheduler axis flows from the request into the report: the
+    /// top-level field records the slug, and a non-default scheduler
+    /// produces its own deterministic results.
+    #[test]
+    fn scheduler_axis_is_recorded_and_deterministic() {
+        use regpipe_core::SchedulerKind;
+        let loops = suite(3, 4);
+        for kind in SchedulerKind::ALL {
+            let mut req = request(2);
+            req.options.scheduler = kind;
+            let parallel = run_batch(&loops, &req).to_json(false);
+            req.jobs = NonZeroUsize::new(1).unwrap();
+            let sequential = run_batch(&loops, &req).to_json(false);
+            assert_eq!(parallel, sequential, "{kind}: jobs must not matter");
+            let doc = crate::json::parse(&parallel).unwrap();
+            assert_eq!(doc.get("scheduler"), Some(&Value::Str(kind.slug().into())));
+        }
     }
 
     #[test]

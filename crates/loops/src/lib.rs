@@ -33,6 +33,11 @@
 //!   a directory of `.ddg` files plus an optional `.mach` machine
 //!   description, with per-file error reporting.
 //!
+//! Every workload source yields plain `Vec<BenchLoop>`, so each suite or
+//! corpus doubles as a *scheduler comparison scenario*: the batch engine
+//! compiles the same loops under any scheduler from the `regpipe_sched`
+//! registry (`regpipe suite --scheduler hrms|sms|asap`).
+//!
 //! ```
 //! use regpipe_loops::{default_suite, suite};
 //!

@@ -134,20 +134,24 @@ impl Scheduler for HrmsScheduler {
 // Ordering phase (per-II half; the priority sets live in LoopAnalysis)
 // ----------------------------------------------------------------------
 
+/// Sweep direction of the ordering phase (shared with the SMS scheduler).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Direction {
+pub(crate) enum Direction {
+    /// Expanding from ordered predecessors towards successors.
     TopDown,
+    /// Expanding from ordered successors towards predecessors.
     BottomUp,
 }
 
-/// Produces the scheduling order as a list of group leaders, walking the
-/// context's precomputed priority sets with the timing analysis for this II.
-pub(crate) fn ordering_in(ctx: &LoopAnalysis<'_>, analysis: &TimeAnalysis) -> Vec<OpId> {
+/// Group-level timing priorities: per complex group, the earliest member
+/// ASAP, the latest member ALAP (both on the leader's clock) and the
+/// minimum member mobility. Shared by the HRMS and SMS ordering phases.
+pub(crate) fn group_priorities(
+    ctx: &LoopAnalysis<'_>,
+    analysis: &TimeAnalysis,
+) -> (Vec<i64>, Vec<i64>, Vec<i64>) {
     let groups = ctx.groups();
-    let sg = &ctx.sg;
     let g = groups.len();
-
-    // Group-level priorities.
     let mut g_asap = vec![i64::MAX; g];
     let mut g_alap = vec![NEG_INF; g];
     let mut g_mob = vec![i64::MAX; g];
@@ -158,11 +162,46 @@ pub(crate) fn ordering_in(ctx: &LoopAnalysis<'_>, analysis: &TimeAnalysis) -> Ve
             g_mob[gi] = g_mob[gi].min(analysis.mobility(m));
         }
     }
-    let horizon: i64 = (0..g).map(|gi| g_alap[gi]).max().unwrap_or(0);
+    (g_asap, g_alap, g_mob)
+}
 
-    // Alternating-direction inner ordering over the precomputed sets.
-    let mut order: Vec<usize> = Vec::with_capacity(g);
-    let mut ordered = vec![false; g];
+/// Produces the scheduling order as a list of group leaders, walking the
+/// context's precomputed priority sets with the timing analysis for this II.
+pub(crate) fn ordering_in(ctx: &LoopAnalysis<'_>, analysis: &TimeAnalysis) -> Vec<OpId> {
+    let sg = &ctx.sg;
+    let (g_asap, g_alap, g_mob) = group_priorities(ctx, analysis);
+    let horizon: i64 = g_alap.iter().copied().max().unwrap_or(0);
+    frontier_walk(
+        ctx,
+        // Fresh start: most critical (min mobility), earliest.
+        |remaining| {
+            remaining
+                .iter()
+                .copied()
+                .min_by_key(|&v| (g_mob[v], g_asap[v], v))
+                .expect("non-empty")
+        },
+        |frontier, remaining, dir| {
+            pick(frontier, remaining, sg, dir, &g_asap, &g_alap, &g_mob, horizon)
+        },
+    )
+}
+
+/// The ordering walk shared by the HRMS and SMS schedulers: alternating
+/// top-down/bottom-up sweeps over the context's precomputed priority
+/// sets, expanding a frontier from the already-ordered groups. The two
+/// schedulers differ only in their plug-ins — `seed` chooses the fresh
+/// start of a set no ordered group connects to yet, `pick(frontier,
+/// remaining, dir)` the next group for the current sweep direction.
+pub(crate) fn frontier_walk(
+    ctx: &LoopAnalysis<'_>,
+    seed: impl Fn(&BTreeSet<usize>) -> usize,
+    pick: impl Fn(&BTreeSet<usize>, &BTreeSet<usize>, Direction) -> Option<usize>,
+) -> Vec<OpId> {
+    let groups = ctx.groups();
+    let sg = &ctx.sg;
+    let mut order: Vec<usize> = Vec::with_capacity(groups.len());
+    let mut ordered = vec![false; groups.len()];
     for set in &ctx.sets {
         let mut remaining: BTreeSet<usize> = set.iter().copied().collect();
         while !remaining.is_empty() {
@@ -182,19 +221,11 @@ pub(crate) fn ordering_in(ctx: &LoopAnalysis<'_>, analysis: &TimeAnalysis) -> Ve
                 } else if !bu.is_empty() && td.is_empty() {
                     (bu.into_iter().collect(), Direction::BottomUp)
                 } else if td.is_empty() && bu.is_empty() {
-                    // Fresh start: most critical (min mobility), earliest.
-                    let seed = remaining
-                        .iter()
-                        .copied()
-                        .min_by_key(|&v| (g_mob[v], g_asap[v], v))
-                        .expect("non-empty");
-                    ([seed].into_iter().collect(), Direction::TopDown)
+                    ([seed(&remaining)].into_iter().collect(), Direction::TopDown)
                 } else {
                     (td.into_iter().collect(), Direction::TopDown)
                 };
-            while let Some(v) =
-                pick(&frontier, &remaining, sg, dir, &g_asap, &g_alap, &g_mob, horizon)
-            {
+            while let Some(v) = pick(&frontier, &remaining, dir) {
                 frontier.remove(&v);
                 if !remaining.remove(&v) {
                     continue;

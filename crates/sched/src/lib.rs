@@ -12,10 +12,21 @@
 //!   *or* only its successors are already scheduled, and a bidirectional
 //!   placement phase puts each operation as close to its neighbours as the
 //!   modulo reservation table allows, keeping lifetimes short.
+//! * [`SmsScheduler`] — Swing Modulo Scheduling, the successor heuristic by
+//!   the same group: the same bidirectional placement, but an ordering
+//!   phase driven by each node's combined ASAP/ALAP *swing* priority.
 //! * [`AsapScheduler`] — a register-insensitive top-down baseline
 //!   (the comparison point the paper cites from lifetime-insensitive
 //!   schedulers).
+//! * [`SchedulerKind`] — the scheduler registry: a serializable selector
+//!   over the three schedulers that itself implements [`Scheduler`], so
+//!   the choice of scheduler is a first-class axis of the evaluation
+//!   matrix (`--scheduler hrms|sms|asap` on the CLI).
 //! * [`Kernel`] — kernel extraction with stage annotations (Figure 2e).
+//!
+//! `docs/algorithms.md` in the repository walks the HRMS and SMS ordering
+//! and placement phases step by step on the same kernels, with the
+//! lifetime/MaxLive tables that show where and why the orders diverge.
 //!
 //! Fixed (bonded) edges in the graph are honoured as the paper's *complex
 //! operations*: bonded operations are placed atomically at exact offsets
@@ -59,7 +70,9 @@ mod kernel;
 mod loop_analysis;
 mod pipeline;
 mod recmii;
+mod registry;
 mod schedule;
+mod sms;
 mod stage;
 
 pub use analysis::TimeAnalysis;
@@ -70,7 +83,9 @@ pub use kernel::{Kernel, KernelSlot};
 pub use loop_analysis::LoopAnalysis;
 pub use pipeline::{PipelinedLoop, TraceEntry};
 pub use recmii::{per_recurrence_bounds, rec_mii, RecurrenceBound};
+pub use registry::SchedulerKind;
 pub use schedule::{Schedule, VerifyError};
+pub use sms::SmsScheduler;
 pub use stage::stage_schedule;
 
 use std::error::Error;

@@ -1,0 +1,79 @@
+//! The scheduler axis in one table: compile a generated corpus under
+//! every scheduler in the registry (HRMS, SMS, ASAP) and print a per-loop
+//! II / MaxLive / registers comparison plus the aggregate bill — the
+//! library-side equivalent of running `regpipe suite --scheduler <s>`
+//! once per scheduler and diffing the three `BENCH_suite.json` files.
+//!
+//! The hand-walked explanation of *why* the columns differ is in
+//! `docs/algorithms.md`. Run with
+//! `cargo run --release --example scheduler_compare`.
+
+use regpipe::machine::MachineConfig;
+use regpipe::prelude::*;
+use regpipe::sched::SchedRequest;
+
+fn main() {
+    // A small corpus biased towards acyclic joins (low recurrence
+    // density) — the structure on which the HRMS and SMS orderings
+    // actually diverge, per docs/algorithms.md.
+    let params = GenParams { recurrence_density: 0.15, ..GenParams::default() };
+    let loops = generate(2048, 12, &params).expect("valid knobs");
+    let machine = MachineConfig::p2l4();
+    let schedulers = SchedulerKind::ALL;
+
+    println!("machine {}, {} generated loops (seed 2048)", machine.name(), loops.len());
+    print!("{:<12}", "loop");
+    for kind in schedulers {
+        print!("  {:>16}", format!("{kind}: II/SC/regs"));
+    }
+    println!();
+
+    // Unconstrained comparison: each scheduler at its best II, measured
+    // by the register allocator (total = rotating + invariants).
+    let mut totals = [(0u64, 0u64); SchedulerKind::ALL.len()];
+    for l in &loops {
+        print!("{:<12}", l.name);
+        for (col, kind) in schedulers.into_iter().enumerate() {
+            let sched = kind
+                .schedule(&l.ddg, &machine, &SchedRequest::default())
+                .expect("unconstrained scheduling always succeeds");
+            sched.verify(&l.ddg, &machine).expect("valid modulo schedule");
+            let alloc = allocate(&l.ddg, &sched);
+            totals[col].0 += u64::from(sched.ii()) * l.weight;
+            totals[col].1 += u64::from(alloc.total());
+            let cell = format!("{}/{}/{}", sched.ii(), sched.stage_count(), alloc.total());
+            print!("  {cell:>16}");
+        }
+        println!();
+    }
+    print!("{:<12}", "Σ regs");
+    for (_, regs) in totals {
+        print!("  {regs:>16}");
+    }
+    println!();
+    print!("{:<12}", "Σ II·weight");
+    for (cycles, _) in totals {
+        print!("  {cycles:>16}");
+    }
+    println!();
+
+    // Constrained comparison: the full compile path (best-of-all driver)
+    // under a 24-register budget, per scheduler.
+    println!("\nbest-of-all under a 24-register budget:");
+    for kind in schedulers {
+        let (mut fitted, mut spilled, mut cycles) = (0u32, 0u64, 0u64);
+        for l in &loops {
+            let options = CompileOptions { scheduler: kind, ..CompileOptions::default() };
+            if let Ok(c) = compile(&l.ddg, &machine, 24, &options) {
+                fitted += 1;
+                spilled += u64::from(c.spilled());
+                cycles += u64::from(c.ii()) * l.weight;
+            }
+        }
+        println!(
+            "  {:<5} fitted {fitted:>2}/{}  spilled {spilled:>3}  Σ II·weight {cycles}",
+            kind.slug(),
+            loops.len()
+        );
+    }
+}

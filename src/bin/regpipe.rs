@@ -20,7 +20,7 @@ use regpipe::loops::{
 };
 use regpipe::machine::MachineConfig;
 use regpipe::regalloc::allocate;
-use regpipe::sched::{mii, rec_mii, HrmsScheduler, PipelinedLoop, SchedRequest, Scheduler};
+use regpipe::sched::{mii, rec_mii, PipelinedLoop, SchedRequest, Scheduler, SchedulerKind};
 use regpipe::spill::SelectHeuristic;
 
 fn main() -> ExitCode {
@@ -52,9 +52,10 @@ fn main() -> ExitCode {
 /// The full usage text, or one subcommand's section.
 fn usage(topic: Option<&str>) -> String {
     let info = "\
-regpipe info <file.ddg> [--machine M]
+regpipe info <file.ddg> [--machine M] [--scheduler S]
   Facts about a loop: op mix, MII/RecMII, recurrences, and the
   unconstrained schedule's II and register requirement.
+  --scheduler hrms|sms|asap                            (default hrms)
 ";
     let compile_ = "\
 regpipe compile <file.ddg> [options]
@@ -62,6 +63,7 @@ regpipe compile <file.ddg> [options]
   --machine p1l4|p2l4|p2l6|uniform:<units>,<latency>   (default p2l4)
   --regs <n>                                           (default 32)
   --strategy best|spill|increase-ii                    (default best)
+  --scheduler hrms|sms|asap                            (default hrms)
   --heuristic lt|lt-traf                               (default lt-traf)
   --emit kernel|pipeline|dot|text                      (default kernel)
 ";
@@ -81,6 +83,7 @@ regpipe suite [options]
   --machine <m>     as for compile                     (default p2l4)
   --budgets <list>  comma-separated register budgets   (default 64,32)
   --strategies <l>  comma-separated strategies         (default best,spill,increase-ii)
+  --scheduler <s>   core scheduler: hrms|sms|asap      (default hrms)
   --out <file>      report path                        (default BENCH_suite.json)
 
 regpipe suite --dir <dir> [--size N] [--seed S]
@@ -113,7 +116,7 @@ regpipe check <dir>
 regpipe bench [options]
   Wall-time the full compile path (schedule/allocate/spill/reschedule)
   over seeded `gen` corpora at several kernel sizes and write the result
-  as machine-readable JSON (schema regpipe-bench-compile/v1). By default
+  as machine-readable JSON (schema regpipe-bench-compile/v2). By default
   only deterministic work counters are emitted so runs byte-compare;
   set REGPIPE_BENCH_TIMING=1 to run the sampling loop and include
   mean_wall_us per size (see docs/performance.md).
@@ -123,6 +126,7 @@ regpipe bench [options]
   --machine <m>     as for compile               (default p2l4)
   --budgets <list>  register budgets             (default 64,32)
   --strategies <l>  strategies                   (default best,spill,increase-ii)
+  --scheduler <s>   core scheduler: hrms|sms|asap (default hrms)
   --before <file>   a previous timed BENCH_compile.json; records its
                     mean_wall_us per size plus the speedup in the output
   --out <file>      report path                  (default BENCH_compile.json)
@@ -195,6 +199,12 @@ impl<'a> Flags<'a> {
     fn positional(&self) -> Option<&'a str> {
         self.args.first().filter(|a| !a.starts_with("--")).map(String::as_str)
     }
+
+    /// The `--scheduler` flag, resolved against the scheduler registry.
+    /// Unknown names are a hard error naming the registered schedulers.
+    fn scheduler(&self) -> Result<SchedulerKind, String> {
+        self.get("--scheduler").map_or(Ok(SchedulerKind::default()), SchedulerKind::parse)
+    }
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
@@ -202,6 +212,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let path = flags.positional().ok_or("info: missing input file")?;
     let g = load(path)?;
     let machine = parse_machine(flags.get("--machine").unwrap_or("p2l4"))?;
+    let scheduler = flags.scheduler()?;
 
     println!(
         "loop '{}': {} ops, {} edges, {} invariants",
@@ -227,7 +238,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     );
     let recs = regpipe::ddg::algo::recurrences(&g);
     println!("recurrences: {}", recs.len());
-    let s = HrmsScheduler::new()
+    let s = scheduler
         .schedule(&g, &machine, &SchedRequest::default())
         .map_err(|e| e.to_string())?;
     let a = allocate(&g, &s);
@@ -257,7 +268,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         "lt-traf" => SelectHeuristic::MaxLtOverTraffic,
         other => return Err(format!("unknown heuristic '{other}'")),
     };
-    let mut options = CompileOptions { strategy, ..CompileOptions::default() };
+    let mut options =
+        CompileOptions { strategy, scheduler: flags.scheduler()?, ..CompileOptions::default() };
     options.spill.heuristic = heuristic;
 
     let compiled = compile(&g, &machine, regs, &options).map_err(|e| e.to_string())?;
@@ -370,14 +382,14 @@ fn run_suite(
         .map(parse_strategy)
         .collect::<Result<Vec<_>, _>>()?;
     let out_path = flags.get("--out").unwrap_or("BENCH_suite.json");
+    let options = CompileOptions { scheduler: flags.scheduler()?, ..CompileOptions::default() };
 
-    let req =
-        BatchRequest { machine, budgets, strategies, options: CompileOptions::default(), jobs };
+    let req = BatchRequest { machine, budgets, strategies, options, jobs };
     let report = run_batch(&loops, &req);
 
     println!(
-        "=== suite evaluation: {} loops ({label}), machine {} ===",
-        report.suite_size, report.machine
+        "=== suite evaluation: {} loops ({label}), machine {}, scheduler {} ===",
+        report.suite_size, report.machine, report.scheduler
     );
     println!(
         "{:<8} {:<12} {:>7} {:>7} {:>12} {:>12} {:>9} {:>9}",
@@ -535,6 +547,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             None => defaults.strategies,
             Some(raw) => raw.split(',').map(parse_strategy).collect::<Result<Vec<_>, _>>()?,
         },
+        scheduler: flags.scheduler()?,
         machine: parse_machine(flags.get("--machine").unwrap_or("p2l4"))?,
         timed: std::env::var("REGPIPE_BENCH_TIMING").is_ok_and(|v| v == "1"),
     };
@@ -554,8 +567,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let report =
         regpipe::bench::run_compile_bench(&config).map_err(|e| format!("bench: {e}"))?;
     println!(
-        "=== compile-path bench: machine {}, {} kernels/size, budgets {:?} ===",
+        "=== compile-path bench: machine {}, scheduler {}, {} kernels/size, budgets {:?} ===",
         config.machine.name(),
+        config.scheduler,
         config.count,
         config.budgets
     );

@@ -9,8 +9,11 @@
 //! * [`ddg`] — loop data-dependence graphs (operations, distances, invariants).
 //! * [`machine`] — VLIW machine models (the paper's P1L4/P2L4/P2L6) and the
 //!   modulo reservation table.
-//! * [`sched`] — MII computation and modulo schedulers (register-sensitive
-//!   HRMS and a register-insensitive ASAP baseline).
+//! * [`sched`] — MII computation and modulo schedulers: the
+//!   register-sensitive HRMS and SMS (Swing) schedulers, a
+//!   register-insensitive ASAP baseline, and the [`sched::SchedulerKind`]
+//!   registry that makes the choice a first-class evaluation axis
+//!   (`--scheduler hrms|sms|asap`).
 //! * [`regalloc`] — cyclic lifetimes, MaxLive, rotating-file and
 //!   modulo-variable-expansion register allocation.
 //! * [`spill`] — spill-code insertion into the dependence graph with the
@@ -73,6 +76,8 @@ pub mod prelude {
     pub use regpipe_loops::{generate, load_corpus, write_corpus, BenchLoop, GenParams};
     pub use regpipe_machine::MachineConfig;
     pub use regpipe_regalloc::{allocate, LifetimeAnalysis};
-    pub use regpipe_sched::{mii, HrmsScheduler, Schedule, Scheduler};
+    pub use regpipe_sched::{
+        mii, AsapScheduler, HrmsScheduler, Schedule, Scheduler, SchedulerKind, SmsScheduler,
+    };
     pub use regpipe_spill::SelectHeuristic;
 }

@@ -149,6 +149,71 @@ fn help_prints_full_usage_to_stdout() {
     assert!(!stdout.contains("regpipe info"), "narrowed help shows one subcommand");
 }
 
+/// The scheduler axis: `help suite` / `help bench` document `--scheduler`,
+/// and unknown scheduler names are a hard error on stderr with exit 1 on
+/// every verb that accepts the flag.
+#[test]
+fn scheduler_flag_is_documented_and_strictly_validated() {
+    for topic in ["suite", "bench", "compile", "info"] {
+        let out = bin().args(["help", topic]).output().expect("spawn regpipe");
+        assert!(out.status.success(), "help {topic} must exit 0");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("--scheduler"), "help {topic} must document --scheduler");
+        assert!(stdout.contains("hrms|sms|asap"), "help {topic} must list the registry");
+    }
+    let dir = scratch_dir("sched-flag");
+    let ddg = example_ddg(&dir);
+    let ddg_str = ddg.to_str().unwrap();
+    for args in [
+        &["suite", "--size", "3", "--scheduler", "warp"][..],
+        &["bench", "--sizes", "4", "--count", "1", "--scheduler", "warp"],
+        &["compile", ddg_str, "--scheduler", "warp"],
+        &["info", ddg_str, "--scheduler", "warp"],
+    ] {
+        let out = bin().args(args).output().expect("spawn regpipe");
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(out.stdout.is_empty() || !String::from_utf8_lossy(&out.stdout).contains("==="));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown scheduler 'warp'"), "{args:?}: {stderr}");
+        assert!(stderr.contains("hrms"), "{args:?} must name the registry: {stderr}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Every registered scheduler drives `info` end-to-end on the paper
+/// example; the register-insensitive baseline needs at least as many
+/// registers as the register-sensitive schedulers.
+#[test]
+fn info_reports_every_scheduler_on_the_example() {
+    let dir = scratch_dir("info-sched");
+    let ddg = example_ddg(&dir);
+    let mut regs = Vec::new();
+    for scheduler in ["hrms", "sms", "asap"] {
+        let out = run_ok({
+            let mut c = bin();
+            c.arg("info").arg(&ddg).args(["--scheduler", scheduler]);
+            c
+        });
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("unconstrained schedule"))
+            .unwrap_or_else(|| panic!("{scheduler}: no schedule line in {stdout}"));
+        assert!(line.contains("II = 1,"), "{scheduler}: {line}");
+        let n: u32 = line
+            .split("registers = ")
+            .nth(1)
+            .and_then(|r| r.split_whitespace().next())
+            .and_then(|r| r.parse().ok())
+            .unwrap_or_else(|| panic!("{scheduler}: unparsable {line}"));
+        regs.push(n);
+    }
+    let (hrms, sms, asap) = (regs[0], regs[1], regs[2]);
+    assert!(hrms <= asap, "hrms {hrms} regs must not exceed asap {asap}");
+    assert!(sms <= asap, "sms {sms} regs must not exceed asap {asap}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// `suite` without `--dir` runs the batch engine: stdout and the emitted
 /// `BENCH_suite.json` must be byte-identical for any `--jobs` value, and
 /// the JSON must parse.

@@ -1,0 +1,114 @@
+//! Markdown link check: every relative link in the repository's top-level
+//! `*.md` files and in `docs/*.md` must resolve to an existing file or
+//! directory. External (`http`/`https`/`mailto`) and in-page (`#anchor`)
+//! links are skipped; a `file.md#section` link is checked for the file
+//! part. Runs as part of `cargo test`, so a broken cross-reference fails
+//! tier-1 instead of rotting silently.
+
+use std::path::{Path, PathBuf};
+
+/// The inline markdown links `[text](target)` of one document, with the
+/// 1-based line each starts on. A tiny scanner, not a markdown parser:
+/// it looks for `](` outside fenced code blocks and reads to the closing
+/// parenthesis, which covers every link style these docs use.
+fn inline_links(text: &str) -> Vec<(usize, String)> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        let mut consumed = 0usize;
+        while let Some(open) = rest.find("](") {
+            let after = &rest[open + 2..];
+            let Some(close) = after.find(')') else { break };
+            links.push((i + 1, after[..close].trim().to_string()));
+            consumed += open + 2 + close + 1;
+            rest = &line[consumed..];
+        }
+    }
+    links
+}
+
+/// The markdown files under the link-check contract: every `*.md` in the
+/// repository root plus everything in `docs/`, minus the retrieval
+/// artifacts (`PAPER.md`, `PAPERS.md`, `SNIPPETS.md`) whose content is
+/// machine-extracted from external sources and carries dangling image
+/// references by construction.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    const RETRIEVAL_ARTIFACTS: [&str; 3] = ["PAPER.md", "PAPERS.md", "SNIPPETS.md"];
+    let mut files = Vec::new();
+    for dir in [root.to_path_buf(), root.join("docs")] {
+        let entries = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()));
+        for entry in entries {
+            let path = entry.expect("dir entry").path();
+            let excluded = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| RETRIEVAL_ARTIFACTS.contains(&n));
+            if path.extension().is_some_and(|e| e == "md") && !excluded {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn every_relative_markdown_link_resolves() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = markdown_files(root);
+    assert!(files.len() >= 7, "expected the documentation set, found {files:?}");
+    let mut broken = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        for (line, target) in inline_links(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            // `path#anchor` → check the path part only.
+            let path_part = target.split('#').next().unwrap_or(&target);
+            let resolved = file.parent().expect("md files have parents").join(path_part);
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{}:{line}: broken link '{target}' (resolved to {})",
+                    file.strip_prefix(root).unwrap_or(file).display(),
+                    resolved.display()
+                ));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken markdown links:\n{}", broken.join("\n"));
+}
+
+/// The checker itself must see through the docs: the core documents link
+/// each other, so a non-trivial number of relative links is expected —
+/// an empty scan would mean the scanner regressed, not that the docs are
+/// link-free.
+#[test]
+fn the_scanner_finds_the_known_cross_references() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README exists");
+    let links = inline_links(&readme);
+    assert!(
+        links.iter().any(|(_, t)| t.starts_with("ARCHITECTURE.md")),
+        "README links ARCHITECTURE.md: {links:?}"
+    );
+    assert!(
+        links.iter().any(|(_, t)| t.starts_with("docs/")),
+        "README links into docs/: {links:?}"
+    );
+}
