@@ -1,0 +1,100 @@
+//! Stable content addressing for dependence graphs.
+//!
+//! `regpipe serve` keys its result cache by *what the loop is*, not where
+//! it came from: two textually different `.ddg` files that parse to the
+//! same graph (comment/whitespace/ordering differences aside) must map to
+//! the same cache entry. The canonical form is [`crate::textfmt::format`]
+//! — already the round-trip normal form every disk frontend goes through
+//! — and the hash is FNV-1a over its bytes, which is fully specified here
+//! so the value is stable across runs, platforms, and Rust versions
+//! (unlike `std::hash`, whose output is deliberately unspecified).
+
+use crate::textfmt;
+use crate::Ddg;
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string: the workspace's stable, dependency-free
+/// hash. Not cryptographic — collisions are possible in principle — but
+/// the daemon's cache only ever trades a collision for a wrong *cached*
+/// answer on adversarial inputs, and the corpus funnel is trusted.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The stable content address of a graph: FNV-1a over its canonical text
+/// form ([`crate::textfmt::format`]).
+///
+/// Two graphs have equal hashes exactly when their canonical renderings
+/// are byte-equal; the loop's name participates (it is part of the
+/// canonical form), so corpora with stable names address stably.
+///
+/// ```
+/// use regpipe_ddg::{content_hash, textfmt};
+///
+/// let a = textfmt::parse("loop l\nop x add\n").unwrap();
+/// let b = textfmt::parse("# comment\nloop l\n\nop x add\n").unwrap();
+/// assert_eq!(content_hash(&a), content_hash(&b)); // same canonical form
+/// ```
+pub fn content_hash(ddg: &Ddg) -> u64 {
+    fnv1a(textfmt::format(ddg).as_bytes())
+}
+
+/// [`content_hash`] as the fixed-width lowercase hex string used in wire
+/// responses and log lines (16 digits, zero-padded).
+pub fn content_hash_hex(ddg: &Ddg) -> String {
+    format!("{:016x}", content_hash(ddg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DdgBuilder, OpKind};
+
+    fn sample(name: &str, dist: u32) -> Ddg {
+        let mut b = DdgBuilder::new(name);
+        let ld = b.add_op(OpKind::Load, "ld");
+        let add = b.add_op(OpKind::Add, "+");
+        b.reg_dist(ld, add, dist);
+        b.build().unwrap()
+    }
+
+    /// The hash is pinned: any drift silently invalidates every
+    /// content-addressed artifact, so it must be a deliberate change.
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn equal_graphs_hash_equal_and_different_graphs_differ() {
+        assert_eq!(content_hash(&sample("l", 3)), content_hash(&sample("l", 3)));
+        assert_ne!(content_hash(&sample("l", 3)), content_hash(&sample("l", 4)));
+        assert_ne!(content_hash(&sample("l", 3)), content_hash(&sample("m", 3)));
+    }
+
+    #[test]
+    fn hex_form_is_fixed_width() {
+        let h = content_hash_hex(&sample("l", 3));
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn hash_survives_a_text_round_trip() {
+        let g = sample("rt", 2);
+        let reparsed = crate::textfmt::parse(&crate::textfmt::format(&g)).unwrap();
+        assert_eq!(content_hash(&g), content_hash(&reparsed));
+    }
+}

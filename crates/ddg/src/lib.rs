@@ -50,6 +50,7 @@ mod builder;
 mod dot;
 mod edge;
 mod graph;
+mod hash;
 mod invariant;
 mod node;
 mod op;
@@ -60,6 +61,7 @@ pub use builder::DdgBuilder;
 pub use dot::to_dot;
 pub use edge::{Edge, EdgeId, EdgeKind};
 pub use graph::Ddg;
+pub use hash::{content_hash, content_hash_hex, fnv1a};
 pub use invariant::{Invariant, InvariantId};
 pub use node::Node;
 pub use op::{OpId, OpKind};

@@ -154,6 +154,47 @@ impl MachineConfig {
         vec![Self::p1l4(), Self::p2l4(), Self::p2l6()]
     }
 
+    /// Parses the CLI/wire machine spelling: `p1l4`, `p2l4`, `p2l6`, or
+    /// `uniform:<units>,<latency>`. This is the one spec grammar shared by
+    /// every frontend (`regpipe compile --machine`, suite/bench flags, and
+    /// the `machine` field of `regpipe serve` requests), so a spelling
+    /// accepted anywhere is accepted everywhere.
+    ///
+    /// ```
+    /// use regpipe_machine::MachineConfig;
+    ///
+    /// assert_eq!(MachineConfig::parse_spec("p2l4").unwrap(), MachineConfig::p2l4());
+    /// assert_eq!(MachineConfig::parse_spec("uniform:4,2").unwrap(), MachineConfig::uniform(4, 2));
+    /// assert!(MachineConfig::parse_spec("warp9").is_err());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown machine or the malformed `uniform:` parameter.
+    pub fn parse_spec(spec: &str) -> Result<MachineConfig, String> {
+        match spec {
+            "p1l4" => Ok(MachineConfig::p1l4()),
+            "p2l4" => Ok(MachineConfig::p2l4()),
+            "p2l6" => Ok(MachineConfig::p2l6()),
+            other => {
+                if let Some(rest) = other.strip_prefix("uniform:") {
+                    let (units, lat) = rest
+                        .split_once(',')
+                        .ok_or_else(|| format!("bad uniform spec '{other}'"))?;
+                    let units: u32 =
+                        units.parse().map_err(|_| format!("bad unit count '{units}'"))?;
+                    let lat: u32 = lat.parse().map_err(|_| format!("bad latency '{lat}'"))?;
+                    if units == 0 || lat == 0 {
+                        return Err("uniform machine needs positive units and latency".into());
+                    }
+                    Ok(MachineConfig::uniform(units, lat))
+                } else {
+                    Err(format!("unknown machine '{other}'"))
+                }
+            }
+        }
+    }
+
     /// A uniform machine: `units` general-purpose fully-pipelined units and
     /// a single latency for every operation (the paper's Figure 2 machine is
     /// `uniform(4, 2)`).

@@ -1,0 +1,48 @@
+//! The compile daemon: `regpipe serve` and its load/benchmark drivers.
+//!
+//! Batch compilation (`regpipe suite`, `regpipe check`) pays full
+//! process-startup and analysis cost per invocation. This crate keeps a
+//! compiler resident instead: a [`Server`] answers JSON-lines requests —
+//! one object per line, one response line per request — over stdin or a
+//! unix socket ([`serve_stdin`] / [`serve_socket`]), backed by a sharded,
+//! bounded-memory, content-addressed LRU result cache
+//! ([`cache::ShardedCache`]).
+//!
+//! The cache is keyed by *what is being compiled* — `(ddg content hash,
+//! canonical machine identity, scheduler, strategy, budget)` — and stores
+//! fully rendered response payloads, so a hit returns byte-for-byte what
+//! a miss would compute. That makes the daemon's observable behaviour
+//! independent of cache state, client concurrency, and transport; the
+//! test suite and CI hold it to exactly that standard.
+//!
+//! * [`Server::handle_line`] — the transport-free protocol core.
+//! * [`replay`] — the `regpipe replay` load-driver: deterministic request
+//!   streams from the generator/suite/a file, driven in-process or over
+//!   the socket with client-side concurrency.
+//! * [`bench`](mod@bench) — `regpipe bench-serve`, emitting `BENCH_serve.json`
+//!   (wall-clock fields behind `REGPIPE_BENCH_TIMING=1`).
+//!
+//! `docs/serve.md` specifies the wire protocol; `docs/benchmarks.md`
+//! covers the report discipline.
+
+// Every public item of this crate is documented; CI turns gaps into errors.
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod cache;
+pub mod daemon;
+pub mod replay;
+mod server;
+
+pub use bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport, ServeTiming, TIMING_ENV};
+pub use cache::{CacheKey, ShardStats, ShardedCache};
+#[cfg(unix)]
+pub use daemon::serve_socket;
+pub use daemon::{read_request_line, serve_connection, serve_stdin, ReadLine};
+pub use replay::{
+    base_requests, replay_in_process, requests_from_loops, IdPolicy, ReplayConfig,
+    ReplayOutcome, ReplaySource,
+};
+#[cfg(unix)]
+pub use replay::{replay_socket, request_once};
+pub use server::{attach_id, machine_key, Response, ServeOptions, Server};

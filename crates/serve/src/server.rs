@@ -1,0 +1,505 @@
+//! The request/response core of the daemon: one JSON line in, one JSON
+//! line out, cache-first.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use regpipe_core::{compile, CompileOptions, Strategy};
+use regpipe_ddg::{content_hash, textfmt, Ddg, OpKind};
+use regpipe_exec::json::{parse as parse_json, Value};
+use regpipe_exec::{parse_strategy, strategy_slug};
+use regpipe_machine::{FuClass, MachineConfig};
+use regpipe_sched::SchedulerKind;
+
+use crate::cache::{CacheKey, ShardedCache};
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Whether the result cache is consulted at all. Responses are
+    /// byte-identical either way — the cache only changes how often the
+    /// engine runs (the determinism gate compares exactly this).
+    pub cache: bool,
+    /// Total cache budget in approximate resident bytes, split evenly
+    /// across shards.
+    pub capacity_bytes: usize,
+    /// Number of independent cache shards.
+    pub shards: usize,
+    /// Hard bound on one request line; longer lines are answered with a
+    /// structured error and never buffered whole.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            cache: true,
+            capacity_bytes: 64 << 20,
+            shards: 8,
+            max_request_bytes: 1 << 20,
+        }
+    }
+}
+
+/// One answered request: the response line (no trailing newline) and
+/// whether the daemon should stop accepting work.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The JSON response line.
+    pub line: String,
+    /// `true` exactly for an acknowledged `shutdown` request.
+    pub shutdown: bool,
+}
+
+impl Response {
+    fn reply(line: String) -> Response {
+        Response { line, shutdown: false }
+    }
+}
+
+/// The compile daemon's state: options, the sharded result cache, and
+/// request counters. All methods take `&self`; one `Server` is shared by
+/// every connection thread.
+pub struct Server {
+    options: ServeOptions,
+    cache: ShardedCache,
+    compile_requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// A fresh server with the given options.
+    pub fn new(options: ServeOptions) -> Server {
+        let cache = ShardedCache::new(options.shards.max(1), options.capacity_bytes);
+        Server {
+            options,
+            cache,
+            compile_requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured per-request byte bound.
+    pub fn max_request_bytes(&self) -> usize {
+        self.options.max_request_bytes
+    }
+
+    /// Whether a `shutdown` request has been acknowledged.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Summed cache counters (the `totals` object of a `stats` response).
+    pub fn cache_totals(&self) -> crate::cache::ShardStats {
+        self.cache.totals()
+    }
+
+    /// Answers one request line. Never panics on malformed input: every
+    /// protocol problem becomes a structured `{"ok":false,...}` response.
+    pub fn handle_line(&self, line: &str) -> Response {
+        if line.len() > self.options.max_request_bytes {
+            return Response::reply(self.oversized_response(line.len()));
+        }
+        let doc = match parse_json(line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                return Response::reply(
+                    self.error_response(None, &format!("invalid JSON: {e}")),
+                )
+            }
+        };
+        let id = doc.get("id").and_then(Value::as_i64);
+        let op = match doc.get("op").and_then(Value::as_str) {
+            Some(op) => op,
+            None => {
+                return Response::reply(
+                    self.error_response(id, "missing or non-string 'op' field"),
+                )
+            }
+        };
+        match op {
+            "compile" => Response::reply(self.handle_compile(id, &doc)),
+            "stats" => Response::reply(attach_id(id, &self.stats_payload())),
+            "ping" => Response::reply(attach_id(id, "{\"ok\":true,\"op\":\"pong\"}")),
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Response {
+                    line: attach_id(id, "{\"ok\":true,\"op\":\"shutdown\"}"),
+                    shutdown: true,
+                }
+            }
+            other => Response::reply(self.error_response(
+                id,
+                &format!("unknown op '{other}' (compile|stats|ping|shutdown)"),
+            )),
+        }
+    }
+
+    /// The structured error for a request line that exceeded the byte
+    /// bound (used both by [`Server::handle_line`] and by the daemon's
+    /// bounded reader, which discards such lines without buffering them).
+    pub fn oversized_response(&self, got: usize) -> String {
+        self.error_response(
+            None,
+            &format!(
+                "request of {got} bytes exceeds the {}-byte limit",
+                self.options.max_request_bytes
+            ),
+        )
+    }
+
+    fn error_response(&self, id: Option<i64>, message: &str) -> String {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let mut pairs = Vec::new();
+        if let Some(id) = id {
+            pairs.push(("id".to_string(), Value::Int(id)));
+        }
+        pairs.push(("ok".to_string(), Value::Bool(false)));
+        pairs.push(("error".to_string(), Value::Str(message.to_string())));
+        Value::Object(pairs).render()
+    }
+
+    fn handle_compile(&self, id: Option<i64>, doc: &Value) -> String {
+        let params = match CompileParams::from_request(doc) {
+            Ok(p) => p,
+            Err(e) => return self.error_response(id, &e),
+        };
+        self.compile_requests.fetch_add(1, Ordering::Relaxed);
+        let payload = if self.options.cache {
+            let key = params.cache_key();
+            match self.cache.get(&key) {
+                Some(hit) => hit,
+                None => {
+                    // Compile OUTSIDE any shard lock; a concurrent miss on
+                    // the same key computes the identical payload.
+                    let computed = params.compute_payload();
+                    self.cache.insert(key, computed.clone());
+                    computed
+                }
+            }
+        } else {
+            params.compute_payload()
+        };
+        attach_id(id, &payload)
+    }
+
+    /// The `stats` response payload: per-shard and total cache counters
+    /// plus request counts. When the cache is enabled,
+    /// `hits + misses == compile_requests` holds at any quiescent point.
+    pub fn stats_payload(&self) -> String {
+        let shards = self.cache.shard_stats();
+        let totals = self.cache.totals();
+        let shard_values = shards
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("hits".to_string(), Value::uint(s.hits)),
+                    ("misses".to_string(), Value::uint(s.misses)),
+                    ("evictions".to_string(), Value::uint(s.evictions)),
+                    ("entries".to_string(), Value::uint(s.entries)),
+                    ("bytes".to_string(), Value::uint(s.bytes)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("ok".to_string(), Value::Bool(true)),
+            ("op".to_string(), Value::Str("stats".into())),
+            ("cache_enabled".to_string(), Value::Bool(self.options.cache)),
+            ("capacity_bytes".to_string(), Value::uint(self.options.capacity_bytes as u64)),
+            (
+                "max_request_bytes".to_string(),
+                Value::uint(self.options.max_request_bytes as u64),
+            ),
+            (
+                "compile_requests".to_string(),
+                Value::uint(self.compile_requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "protocol_errors".to_string(),
+                Value::uint(self.protocol_errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "totals".to_string(),
+                Value::Object(vec![
+                    ("hits".to_string(), Value::uint(totals.hits)),
+                    ("misses".to_string(), Value::uint(totals.misses)),
+                    ("evictions".to_string(), Value::uint(totals.evictions)),
+                    ("entries".to_string(), Value::uint(totals.entries)),
+                    ("bytes".to_string(), Value::uint(totals.bytes)),
+                ]),
+            ),
+            ("shards".to_string(), Value::Array(shard_values)),
+        ])
+        .render()
+    }
+}
+
+/// Splices an `id` field into an already rendered response payload (a
+/// non-empty JSON object). Cached payloads are stored id-free, so a hit
+/// and a miss produce the same bytes for the same request id.
+pub fn attach_id(id: Option<i64>, payload: &str) -> String {
+    debug_assert!(payload.starts_with('{') && payload.len() > 2);
+    match id {
+        None => payload.to_string(),
+        Some(id) => format!("{{\"id\":{id},{}", &payload[1..]),
+    }
+}
+
+/// The canonical machine identity string used in cache keys: unit counts,
+/// latencies, and pipelining flags — the fields that determine scheduling
+/// behavior — but *not* the display name, so `p2l4` and an identically
+/// configured custom machine share cache entries.
+pub fn machine_key(machine: &MachineConfig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(if machine.is_uniform() { "uniform" } else { "classed" });
+    out.push_str(";u=");
+    for class in FuClass::ALL {
+        let _ = write!(out, "{},", machine.units(class));
+    }
+    out.push_str(";l=");
+    for kind in OpKind::ALL {
+        let _ = write!(out, "{},", machine.latency(kind));
+    }
+    out.push_str(";p=");
+    for class in FuClass::ALL {
+        out.push(if machine.is_pipelined(class) { '1' } else { '0' });
+    }
+    out
+}
+
+/// A fully validated compile request.
+struct CompileParams {
+    ddg: Ddg,
+    ddg_hash: u64,
+    machine: MachineConfig,
+    scheduler: SchedulerKind,
+    strategy: Strategy,
+    budget: u32,
+}
+
+impl CompileParams {
+    fn from_request(doc: &Value) -> Result<CompileParams, String> {
+        let text = doc
+            .get("ddg")
+            .and_then(Value::as_str)
+            .ok_or("compile: missing string 'ddg' field")?;
+        let ddg = textfmt::parse(text).map_err(|e| format!("compile: bad ddg: {e}"))?;
+        let machine = match doc.get("machine") {
+            None => MachineConfig::p2l4(),
+            Some(v) => {
+                let spec = v.as_str().ok_or("compile: 'machine' must be a string")?;
+                MachineConfig::parse_spec(spec).map_err(|e| format!("compile: {e}"))?
+            }
+        };
+        let scheduler = match doc.get("scheduler") {
+            None => SchedulerKind::default(),
+            Some(v) => {
+                let slug = v.as_str().ok_or("compile: 'scheduler' must be a string")?;
+                SchedulerKind::parse(slug).map_err(|e| format!("compile: {e}"))?
+            }
+        };
+        let strategy = match doc.get("strategy") {
+            None => Strategy::BestOfAll,
+            Some(v) => {
+                let slug = v.as_str().ok_or("compile: 'strategy' must be a string")?;
+                parse_strategy(slug).map_err(|e| format!("compile: {e}"))?
+            }
+        };
+        let budget = match doc.get("budget") {
+            None => 32,
+            Some(v) => {
+                u32::try_from(v.as_i64().ok_or("compile: 'budget' must be a positive integer")?)
+                    .ok()
+                    .filter(|&b| b > 0)
+                    .ok_or("compile: 'budget' must be a positive integer")?
+            }
+        };
+        let ddg_hash = content_hash(&ddg);
+        Ok(CompileParams { ddg, ddg_hash, machine, scheduler, strategy, budget })
+    }
+
+    fn cache_key(&self) -> CacheKey {
+        CacheKey {
+            ddg_hash: self.ddg_hash,
+            machine: machine_key(&self.machine),
+            scheduler: self.scheduler.slug().to_string(),
+            strategy: strategy_slug(self.strategy).to_string(),
+            budget: self.budget,
+        }
+    }
+
+    /// The id-free response payload: a pure, deterministic function of the
+    /// request — the property the cache-on/off byte-identity gate rests on.
+    fn compute_payload(&self) -> String {
+        let options = CompileOptions {
+            strategy: self.strategy,
+            scheduler: self.scheduler,
+            ..CompileOptions::default()
+        };
+        let mut pairs = vec![
+            ("ok".to_string(), Value::Bool(true)),
+            ("ddg_hash".to_string(), Value::Str(format!("{:016x}", self.ddg_hash))),
+        ];
+        match compile(&self.ddg, &self.machine, self.budget, &options) {
+            Ok(c) => {
+                pairs.push(("status".to_string(), Value::Str("fitted".into())));
+                pairs.push(("ii".to_string(), Value::uint(u64::from(c.ii()))));
+                pairs.push(("regs".to_string(), Value::uint(u64::from(c.registers_used()))));
+                pairs.push(("spilled".to_string(), Value::uint(u64::from(c.spilled()))));
+                pairs
+                    .push(("reschedules".to_string(), Value::uint(u64::from(c.reschedules()))));
+                pairs.push(("memory_ops".to_string(), Value::uint(u64::from(c.memory_ops()))));
+                pairs.push((
+                    "strategy_used".to_string(),
+                    Value::Str(strategy_slug(c.strategy_used()).into()),
+                ));
+            }
+            Err(e) => {
+                pairs.push(("status".to_string(), Value::Str("failed".into())));
+                pairs.push(("error".to_string(), Value::Str(e.to_string())));
+            }
+        }
+        Value::Object(pairs).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(ddg: &str, budget: u32) -> String {
+        Value::Object(vec![
+            ("id".to_string(), Value::Int(1)),
+            ("op".to_string(), Value::Str("compile".into())),
+            ("ddg".to_string(), Value::Str(ddg.into())),
+            ("budget".to_string(), Value::uint(u64::from(budget))),
+        ])
+        .render()
+    }
+
+    const LOOP: &str = "loop t\nop ld load\nop a add\nop st store\n\
+                        edge ld -> a reg 0\nedge a -> st reg 0\n";
+
+    #[test]
+    fn compile_request_round_trips_and_caches() {
+        let server = Server::new(ServeOptions::default());
+        let first = server.handle_line(&request(LOOP, 32));
+        let second = server.handle_line(&request(LOOP, 32));
+        assert_eq!(first.line, second.line);
+        assert!(first.line.contains("\"status\":\"fitted\""), "{}", first.line);
+        assert!(first.line.starts_with("{\"id\":1,\"ok\":true,"));
+        let doc = parse_json(&first.line).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_i64(), Some(1));
+        assert!(doc.get("ii").unwrap().as_i64().unwrap() >= 1);
+        let stats = parse_json(&server.stats_payload()).unwrap();
+        let totals = stats.get("totals").unwrap();
+        assert_eq!(totals.get("hits").unwrap().as_i64(), Some(1));
+        assert_eq!(totals.get("misses").unwrap().as_i64(), Some(1));
+        assert_eq!(stats.get("compile_requests").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn cache_on_and_off_answer_identically() {
+        let on = Server::new(ServeOptions::default());
+        let off = Server::new(ServeOptions { cache: false, ..ServeOptions::default() });
+        for budget in [64, 32, 4] {
+            let a = on.handle_line(&request(LOOP, budget));
+            let b = off.handle_line(&request(LOOP, budget));
+            assert_eq!(a.line, b.line);
+        }
+        // The disabled cache never counted anything.
+        let stats = parse_json(&off.stats_payload()).unwrap();
+        assert_eq!(stats.get("cache_enabled").unwrap().as_bool(), Some(false));
+        assert_eq!(stats.get("totals").unwrap().get("misses").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn malformed_lines_get_structured_errors() {
+        let server = Server::new(ServeOptions::default());
+        for (line, want) in [
+            ("not json", "invalid JSON"),
+            ("{\"id\":3}", "missing or non-string 'op'"),
+            ("{\"op\":\"warp\"}", "unknown op"),
+            ("{\"op\":\"compile\"}", "missing string 'ddg'"),
+            ("{\"op\":\"compile\",\"ddg\":\"op x zap\"}", "bad ddg"),
+            ("{\"op\":\"compile\",\"ddg\":\"loop l\\nop x add\\n\",\"budget\":0}", "budget"),
+            (
+                "{\"op\":\"compile\",\"ddg\":\"loop l\\nop x add\\n\",\"machine\":\"m9\"}",
+                "unknown machine",
+            ),
+            (
+                "{\"op\":\"compile\",\"ddg\":\"loop l\\nop x add\\n\",\"scheduler\":\"x\"}",
+                "scheduler",
+            ),
+        ] {
+            let r = server.handle_line(line);
+            assert!(!r.shutdown);
+            assert!(r.line.contains("\"ok\":false"), "{line} -> {}", r.line);
+            assert!(r.line.contains(want), "{line} -> {}", r.line);
+            parse_json(&r.line).expect("error responses are valid JSON");
+        }
+        let stats = parse_json(&server.stats_payload()).unwrap();
+        assert_eq!(stats.get("protocol_errors").unwrap().as_i64(), Some(8));
+        assert_eq!(stats.get("compile_requests").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn error_responses_echo_a_parsable_id() {
+        let server = Server::new(ServeOptions::default());
+        let r = server.handle_line("{\"id\":42,\"op\":\"warp\"}");
+        assert!(r.line.starts_with("{\"id\":42,\"ok\":false"), "{}", r.line);
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_with_a_structured_error() {
+        let server =
+            Server::new(ServeOptions { max_request_bytes: 128, ..ServeOptions::default() });
+        let big = format!("{{\"op\":\"compile\",\"ddg\":\"{}\"}}", "x".repeat(500));
+        let r = server.handle_line(&big);
+        assert!(r.line.contains("\"ok\":false"));
+        assert!(r.line.contains("exceeds the 128-byte limit"), "{}", r.line);
+    }
+
+    #[test]
+    fn ping_stats_and_shutdown_ops_answer() {
+        let server = Server::new(ServeOptions::default());
+        assert_eq!(
+            server.handle_line("{\"op\":\"ping\"}").line,
+            "{\"ok\":true,\"op\":\"pong\"}"
+        );
+        assert!(!server.is_shutdown());
+        let r = server.handle_line("{\"id\":9,\"op\":\"shutdown\"}");
+        assert!(r.shutdown);
+        assert!(server.is_shutdown());
+        assert_eq!(r.line, "{\"id\":9,\"ok\":true,\"op\":\"shutdown\"}");
+        let stats = server.handle_line("{\"op\":\"stats\"}");
+        parse_json(&stats.line).expect("stats is valid JSON");
+    }
+
+    #[test]
+    fn machine_key_ignores_names_but_not_parameters() {
+        let named = MachineConfig::custom("other-name", 2, 2, 2, 2, 4, 4);
+        assert_eq!(machine_key(&MachineConfig::p2l4()), machine_key(&named));
+        assert_ne!(machine_key(&MachineConfig::p2l4()), machine_key(&MachineConfig::p2l6()));
+        assert_ne!(
+            machine_key(&MachineConfig::uniform(4, 2)),
+            machine_key(&MachineConfig::uniform(4, 3))
+        );
+    }
+
+    /// Equivalent formattings of the same loop share one cache entry.
+    #[test]
+    fn content_addressing_unifies_equivalent_text() {
+        let server = Server::new(ServeOptions::default());
+        let spaced = "# header\n\nloop t\nop ld load\nop a add\nop st store\n\
+                      edge ld -> a reg 0\nedge a -> st reg 0\n";
+        let a = server.handle_line(&request(LOOP, 32));
+        let b = server.handle_line(&request(spaced, 32));
+        assert_eq!(a.line, b.line);
+        let stats = parse_json(&server.stats_payload()).unwrap();
+        let totals = stats.get("totals").unwrap();
+        assert_eq!(totals.get("hits").unwrap().as_i64(), Some(1));
+        assert_eq!(totals.get("misses").unwrap().as_i64(), Some(1));
+    }
+}

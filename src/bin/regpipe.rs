@@ -21,6 +21,12 @@ use regpipe::loops::{
 use regpipe::machine::MachineConfig;
 use regpipe::regalloc::allocate;
 use regpipe::sched::{mii, rec_mii, PipelinedLoop, SchedRequest, Scheduler, SchedulerKind};
+use regpipe::serve::{
+    base_requests, replay_in_process, run_serve_bench, serve_stdin, IdPolicy, ReplayConfig,
+    ReplaySource, ServeBenchConfig, ServeOptions, Server,
+};
+#[cfg(unix)]
+use regpipe::serve::{replay_socket, request_once};
 use regpipe::spill::SelectHeuristic;
 
 fn main() -> ExitCode {
@@ -32,6 +38,9 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("bench-serve") => cmd_bench_serve(&args[1..]),
         // Help goes to stdout and succeeds; `regpipe help <command>`
         // narrows to one subcommand.
         Some("--help" | "-h" | "help") | None => {
@@ -131,6 +140,62 @@ regpipe bench [options]
                     mean_wall_us per size plus the speedup in the output
   --out <file>      report path                  (default BENCH_compile.json)
 ";
+    let serve_ = "\
+regpipe serve [options]
+  Run the persistent compile daemon: JSON-lines requests (one object per
+  line) on stdin — or a unix socket with --socket — answered from a
+  sharded content-addressed LRU result cache, falling through to the
+  compile engine on miss. Responses are byte-identical with the cache on
+  or off. Protocol spec: docs/serve.md.
+  --socket <path>      listen on a unix socket (threaded, multi-client)
+                       instead of stdin/stdout
+  --no-cache           disable the result cache (every request compiles)
+  --cache-bytes <n>    total cache budget in bytes     (default 67108864)
+  --shards <n>         cache shards                    (default 8)
+  --max-request-bytes <n>  per-line request bound      (default 1048576)
+";
+    let replay_ = "\
+regpipe replay [options]
+  Drive a deterministic request stream at a compile daemon and print the
+  response stream (in request order) to stdout. Without --socket an
+  in-process daemon serves the run (same engine, no transport).
+  --socket <path>   unix socket of a running `regpipe serve --socket`
+  --source gen|suite  workload source                  (default gen)
+  --seed <s>        workload seed                      (default 49626)
+  --count <k>       kernels (gen) / loops (suite)      (default 100)
+  --file <path>     replay raw request lines from a file instead
+                    (lines are sent verbatim; ids are yours to manage)
+  --repeat <n>      passes over the stream; pass 2+ exercise the cache
+                    hit path                           (default 1)
+  --jobs <n>        client connections (socket) or worker threads
+                    (in-process)  (default: REGPIPE_JOBS, then all cores)
+  --budgets <list>  comma-separated register budgets   (default 32)
+  --strategy best|spill|increase-ii                    (default best)
+  --scheduler hrms|sms|asap                            (default hrms)
+  --machine <m>     as for compile                     (default p2l4)
+  --no-cache        (in-process mode) disable the daemon cache
+  --stats-out <f>   write the daemon's final stats JSON to a file
+  --shutdown        send a shutdown request after the run (socket mode)
+";
+    let bench_serve_ = "\
+regpipe bench-serve [options]
+  Benchmark the daemon: drive a generated corpus through an in-process
+  server for --repeat passes and write BENCH_serve.json (schema
+  regpipe-bench-serve/v1) with request totals, cache hit/miss/eviction
+  counters and the hit rate. By default only deterministic fields are
+  emitted so runs byte-compare; set REGPIPE_BENCH_TIMING=1 to add
+  throughput (compiles/sec) and p50/p99 request latencies.
+  --seed <s>        generator seed               (default 49626)
+  --count <k>       kernels                      (default 100)
+  --repeat <n>      passes                       (default 2)
+  --budgets <list>  register budgets             (default 64,32)
+  --strategy best|spill|increase-ii              (default best)
+  --scheduler hrms|sms|asap                      (default hrms)
+  --machine <m>     as for compile               (default p2l4)
+  --jobs <n>        worker threads (default: REGPIPE_JOBS, then all cores)
+  --no-cache        disable the daemon cache
+  --out <file>      report path                  (default BENCH_serve.json)
+";
     match topic {
         Some("info") => info.to_string(),
         Some("compile") => compile_.to_string(),
@@ -138,11 +203,16 @@ regpipe bench [options]
         Some("gen") => gen_.to_string(),
         Some("check") => check_.to_string(),
         Some("bench") => bench_.to_string(),
+        Some("serve") => serve_.to_string(),
+        Some("replay") => replay_.to_string(),
+        Some("bench-serve") => bench_serve_.to_string(),
         _ => format!(
-            "usage: regpipe <info|compile|suite|gen|check|bench|help> ...\n\n\
-             {info}\n{compile_}\n{suite_}\n{gen_}\n{check_}\n{bench_}\n\
+            "usage: regpipe <info|compile|suite|gen|check|bench|serve|replay|bench-serve|help> ...\n\n\
+             {info}\n{compile_}\n{suite_}\n{gen_}\n{check_}\n{bench_}\n{serve_}\n{replay_}\n\
+             {bench_serve_}\n\
              The on-disk formats (.ddg loops, .mach machine descriptions, corpus\n\
-             directory layout) are specified in docs/formats.md.\n"
+             directory layout) are specified in docs/formats.md; the serve wire\n\
+             protocol in docs/serve.md.\n"
         ),
     }
 }
@@ -153,27 +223,7 @@ fn load(path: &str) -> Result<Ddg, String> {
 }
 
 fn parse_machine(spec: &str) -> Result<MachineConfig, String> {
-    match spec {
-        "p1l4" => Ok(MachineConfig::p1l4()),
-        "p2l4" => Ok(MachineConfig::p2l4()),
-        "p2l6" => Ok(MachineConfig::p2l6()),
-        other => {
-            if let Some(rest) = other.strip_prefix("uniform:") {
-                let (units, lat) = rest
-                    .split_once(',')
-                    .ok_or_else(|| format!("bad uniform spec '{other}'"))?;
-                let units: u32 =
-                    units.parse().map_err(|_| format!("bad unit count '{units}'"))?;
-                let lat: u32 = lat.parse().map_err(|_| format!("bad latency '{lat}'"))?;
-                if units == 0 || lat == 0 {
-                    return Err("uniform machine needs positive units and latency".into());
-                }
-                Ok(MachineConfig::uniform(units, lat))
-            } else {
-                Err(format!("unknown machine '{other}'"))
-            }
-        }
-    }
+    MachineConfig::parse_spec(spec)
 }
 
 /// Pulls `--key value` pairs from an argument list.
@@ -615,5 +665,211 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     println!("corpus {dir}: OK");
     println!("  loops:   {} ({ops} ops total)", corpus.loops.len());
     println!("  machine: {machine}");
+    Ok(())
+}
+
+/// Serve/replay options shared by several flags.
+fn serve_options(flags: &Flags<'_>) -> Result<ServeOptions, String> {
+    let defaults = ServeOptions::default();
+    let size = |flag: &str, default: usize| -> Result<usize, String> {
+        match flags.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{flag} must be a positive integer, got '{raw}'")),
+        }
+    };
+    Ok(ServeOptions {
+        cache: !flags.has("--no-cache"),
+        capacity_bytes: size("--cache-bytes", defaults.capacity_bytes)?,
+        shards: size("--shards", defaults.shards)?,
+        max_request_bytes: size("--max-request-bytes", defaults.max_request_bytes)?,
+    })
+}
+
+/// `regpipe serve`: the persistent compile daemon.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let server = Server::new(serve_options(&flags)?);
+    match flags.get("--socket") {
+        None => serve_stdin(&server).map_err(|e| format!("serve: {e}")),
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                eprintln!("regpipe serve: listening on {path}");
+                regpipe::serve::serve_socket(&server, std::path::Path::new(path))
+                    .map_err(|e| format!("serve: cannot listen on {path}: {e}"))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err("serve: --socket requires a unix platform".into())
+            }
+        }
+    }
+}
+
+/// `regpipe replay`: drive a request stream at a daemon.
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let seed: u64 = flags
+        .get("--seed")
+        .unwrap_or("49626")
+        .parse()
+        .map_err(|_| "bad --seed value".to_string())?;
+    let count: usize = match flags.get("--count").unwrap_or("100").parse() {
+        Ok(n) if n > 0 => n,
+        _ => return Err("--count must be a positive integer".into()),
+    };
+    let repeat: usize = match flags.get("--repeat").unwrap_or("1").parse() {
+        Ok(n) if n > 0 => n,
+        _ => return Err("--repeat must be a positive integer".into()),
+    };
+    let jobs = resolve_jobs(flags.get("--jobs"))?;
+    let config = ReplayConfig {
+        budgets: flags
+            .get("--budgets")
+            .unwrap_or("32")
+            .split(',')
+            .map(|b| b.parse::<u32>().map_err(|_| format!("bad budget '{b}' in --budgets")))
+            .collect::<Result<Vec<_>, _>>()?,
+        strategy: parse_strategy(flags.get("--strategy").unwrap_or("best"))?,
+        scheduler: flags.scheduler()?,
+        machine_spec: Some(flags.get("--machine").unwrap_or("p2l4").to_string()),
+    };
+    let (source, ids) = match (flags.get("--file"), flags.get("--source").unwrap_or("gen")) {
+        (Some(path), _) => (ReplaySource::File(path.to_string()), IdPolicy::Verbatim),
+        (None, "gen") => (ReplaySource::Gen { seed, count }, IdPolicy::Stream),
+        (None, "suite") => (ReplaySource::Suite { seed, size: count }, IdPolicy::Stream),
+        (None, other) => return Err(format!("unknown --source '{other}' (gen|suite)")),
+    };
+    let base = base_requests(&source, &config)?;
+    if base.is_empty() {
+        return Err("replay: empty request stream".into());
+    }
+
+    let (outcome, stats) = match flags.get("--socket") {
+        None => {
+            let server = Server::new(serve_options(&flags)?);
+            let outcome = replay_in_process(&server, &base, repeat, jobs, ids);
+            (outcome, server.stats_payload())
+        }
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                let path = std::path::Path::new(path);
+                let outcome = replay_socket(path, &base, repeat, jobs, ids)
+                    .map_err(|e| format!("replay: {e}"))?;
+                let stats = request_once(path, "{\"op\":\"stats\"}")
+                    .map_err(|e| format!("replay: stats request failed: {e}"))?;
+                if flags.has("--shutdown") {
+                    request_once(path, "{\"op\":\"shutdown\"}")
+                        .map_err(|e| format!("replay: shutdown request failed: {e}"))?;
+                }
+                (outcome, stats)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err("replay: --socket requires a unix platform".into());
+            }
+        }
+    };
+
+    // Responses in request order: the byte-comparable stream.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    use std::io::Write as _;
+    for line in &outcome.responses {
+        writeln!(out, "{line}").map_err(|e| format!("replay: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("replay: {e}"))?;
+    if let Some(path) = flags.get("--stats-out") {
+        fs::write(path, format!("{stats}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    eprintln!(
+        "replayed {} requests ({} x {repeat} passes) in {:.2}s",
+        outcome.responses.len(),
+        base.len(),
+        outcome.wall_us as f64 / 1e6
+    );
+    Ok(())
+}
+
+/// `regpipe bench-serve`: benchmark the daemon and write `BENCH_serve.json`.
+fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let defaults = ServeBenchConfig::default();
+    let config = ServeBenchConfig {
+        seed: match flags.get("--seed") {
+            None => 49626,
+            Some(raw) => raw.parse().map_err(|_| "bad --seed value".to_string())?,
+        },
+        count: match flags.get("--count") {
+            None => defaults.count,
+            Some(raw) => raw
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or("--count must be a positive integer")?,
+        },
+        repeat: match flags.get("--repeat") {
+            None => defaults.repeat,
+            Some(raw) => raw
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or("--repeat must be a positive integer")?,
+        },
+        budgets: match flags.get("--budgets") {
+            None => defaults.budgets,
+            Some(raw) => raw
+                .split(',')
+                .map(|b| b.parse::<u32>().map_err(|_| format!("bad budget '{b}' in --budgets")))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        strategy: parse_strategy(flags.get("--strategy").unwrap_or("best"))?,
+        scheduler: flags.scheduler()?,
+        machine_spec: {
+            let spec = flags.get("--machine").unwrap_or("p2l4");
+            parse_machine(spec)?; // validate the spelling up front
+            spec.to_string()
+        },
+        jobs: resolve_jobs(flags.get("--jobs"))?,
+        cache: !flags.has("--no-cache"),
+        timed: std::env::var("REGPIPE_BENCH_TIMING").is_ok_and(|v| v == "1"),
+    };
+    let out_path = flags.get("--out").unwrap_or("BENCH_serve.json");
+    let report = run_serve_bench(&config).map_err(|e| format!("bench-serve: {e}"))?;
+    println!(
+        "=== serve bench: {} kernels x {:?} budgets x {} passes, machine {}, scheduler {} ===",
+        config.count, config.budgets, config.repeat, config.machine_spec, config.scheduler
+    );
+    println!(
+        "requests {}  fitted {}  failed {}  hits {}  misses {}  evictions {}  hit rate {:.2}%",
+        report.requests,
+        report.fitted,
+        report.failed,
+        report.hits,
+        report.misses,
+        report.evictions,
+        report.hit_rate * 100.0
+    );
+    if let Some(t) = &report.timing {
+        eprintln!(
+            "wall {:.2}s, {:.0} compiles/sec, p50 {} us, p99 {} us ({} jobs)",
+            t.total_wall_us as f64 / 1e6,
+            t.compiles_per_sec,
+            t.p50_us,
+            t.p99_us,
+            config.jobs
+        );
+    }
+    fs::write(out_path, format!("{}\n", report.to_json()))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
     Ok(())
 }

@@ -31,6 +31,11 @@
 //! * [`bench`](mod@bench) — the experiment drivers reproducing the paper's tables and
 //!   figures, plus the `regpipe bench` compile-path timing harness and its
 //!   `BENCH_compile.json` report format.
+//! * [`serve`] — the persistent compile daemon (`regpipe serve`): a
+//!   JSON-lines protocol over stdin or a unix socket, a sharded
+//!   content-addressed LRU result cache, the `regpipe replay` load-driver,
+//!   and the `regpipe bench-serve` harness with its `BENCH_serve.json`
+//!   report format (protocol spec in `docs/serve.md`).
 //!
 //! The on-disk interchange formats (`.ddg` loops, `.mach` machine
 //! descriptions, corpus directory layout) are specified in
@@ -63,6 +68,7 @@ pub use regpipe_loops as loops;
 pub use regpipe_machine as machine;
 pub use regpipe_regalloc as regalloc;
 pub use regpipe_sched as sched;
+pub use regpipe_serve as serve;
 pub use regpipe_spill as spill;
 
 /// Convenience re-exports for the common workflow.
