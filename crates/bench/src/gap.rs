@@ -1,0 +1,316 @@
+//! The `regpipe gap` harness: heuristic optimality gaps against the exact
+//! branch-and-bound oracle, rendered as `BENCH_gap.json` (schema
+//! `regpipe-bench-gap/v1`).
+//!
+//! Every loop is scheduled once by [`ExactScheduler`] and once by each
+//! registered heuristic ([`gap_heuristics`]), all sharing one
+//! [`LoopAnalysis`] context. The report records per-loop and aggregate
+//! II/SC/MaxLive gaps (`heuristic − exact`), the oracle's
+//! `Proven`/`BudgetExhausted` status, and its node counts. Gap fields are
+//! only attributed to loops whose optimum the oracle *proved*: against an
+//! unproven best-effort schedule a difference is not an optimality gap.
+//!
+//! The report carries no wall-clock fields at all — unlike `BENCH_suite`
+//! and `BENCH_compile` there is no timing opt-in — so runs byte-compare
+//! across machines and `--jobs` values unconditionally (per-loop work is
+//! fanned out with [`parallel_map`] and folded in loop order).
+
+use std::num::NonZeroUsize;
+
+use regpipe_exec::json::Value;
+use regpipe_exec::parallel_map;
+use regpipe_loops::BenchLoop;
+use regpipe_machine::MachineConfig;
+use regpipe_regalloc::allocate;
+use regpipe_sched::{ExactScheduler, LoopAnalysis, SchedRequest, Scheduler, SchedulerKind};
+
+/// The heuristic side of the comparison: every registered scheduler
+/// except the oracle itself, in registry order.
+pub fn gap_heuristics() -> impl Iterator<Item = SchedulerKind> {
+    SchedulerKind::ALL.into_iter().filter(|k| *k != SchedulerKind::Exact)
+}
+
+/// Configuration of one `regpipe gap` run.
+#[derive(Clone, Debug)]
+pub struct GapConfig {
+    /// Machine model every schedule targets.
+    pub machine: MachineConfig,
+    /// The oracle's search budget per loop (`--node-budget`).
+    pub node_budget: u64,
+    /// Worker threads for the per-loop fan-out.
+    pub jobs: NonZeroUsize,
+    /// Where the loops came from (recorded in the report, e.g.
+    /// `gen:seed=7,count=100,max_ops=12` or `corpus:<dir>`).
+    pub source: String,
+}
+
+/// One schedule's quality numbers: the three axes the paper evaluates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SchedPoint {
+    /// Initiation interval.
+    pub ii: u32,
+    /// Stage count.
+    pub sc: u32,
+    /// MaxLive plus invariants — the actual register requirement.
+    pub max_live: u32,
+}
+
+/// One loop's oracle outcome next to every heuristic's schedule.
+#[derive(Clone, Debug)]
+pub struct LoopGap {
+    /// Loop name (corpus file stem or generator serial).
+    pub name: String,
+    /// The oracle's (best-found) schedule quality.
+    pub exact: SchedPoint,
+    /// Whether the oracle *proved* `exact.ii` optimal within its budget.
+    pub proven: bool,
+    /// Search nodes the oracle charged.
+    pub nodes: u64,
+    /// One point per heuristic, in [`gap_heuristics`] order.
+    pub heuristics: Vec<SchedPoint>,
+}
+
+/// Aggregate gaps of one heuristic over the proven subset of a run.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerAggregate {
+    /// Which heuristic.
+    pub scheduler: SchedulerKind,
+    /// Proven loops where the heuristic achieved the optimal II.
+    pub ii_optimal: u32,
+    /// Σ `heuristic II − optimal II` over proven loops (never negative:
+    /// a heuristic II below a proven optimum would disprove the proof).
+    pub ii_gap_total: u64,
+    /// Σ `heuristic SC − exact SC` over proven loops (can be negative —
+    /// the oracle optimizes II first, span second).
+    pub sc_gap_total: i64,
+    /// Σ `heuristic MaxLive − exact MaxLive` over proven loops (can be
+    /// negative — the oracle does not optimize register pressure).
+    pub max_live_gap_total: i64,
+}
+
+/// The collected result of a gap run.
+#[derive(Clone, Debug)]
+pub struct GapReport {
+    /// The configuration that produced it.
+    pub config: GapConfig,
+    /// One entry per loop, in corpus order.
+    pub loops: Vec<LoopGap>,
+}
+
+/// Runs the comparison: every loop through the oracle and every
+/// registered heuristic. Results are identical for any worker count.
+pub fn run_gap(loops: &[BenchLoop], config: &GapConfig) -> GapReport {
+    let oracle = ExactScheduler::with_budget(config.node_budget);
+    let per_loop = parallel_map(loops, config.jobs, |_, l| {
+        let ctx = LoopAnalysis::new(&l.ddg, &config.machine);
+        let request = SchedRequest::default();
+        let outcome = oracle.solve_in(&ctx, &request).expect("corpus loops are schedulable");
+        let heuristics = gap_heuristics()
+            .map(|k| {
+                let s = k.schedule_in(&ctx, &request).expect("corpus loops are schedulable");
+                point(l, &s)
+            })
+            .collect();
+        LoopGap {
+            name: l.name.clone(),
+            exact: point(l, &outcome.schedule),
+            proven: outcome.proven(),
+            nodes: outcome.nodes,
+            heuristics,
+        }
+    });
+    GapReport { config: config.clone(), loops: per_loop }
+}
+
+fn point(l: &BenchLoop, s: &regpipe_sched::Schedule) -> SchedPoint {
+    let a = allocate(&l.ddg, s);
+    SchedPoint { ii: s.ii(), sc: s.stage_count(), max_live: a.max_live() }
+}
+
+impl GapReport {
+    /// Loops whose optimal II the oracle proved.
+    pub fn proven(&self) -> u32 {
+        self.loops.iter().filter(|l| l.proven).count() as u32
+    }
+
+    /// Σ search nodes over all loops.
+    pub fn nodes_total(&self) -> u64 {
+        self.loops.iter().map(|l| l.nodes).sum()
+    }
+
+    /// Aggregates per heuristic (over the proven subset), in
+    /// [`gap_heuristics`] order.
+    pub fn aggregates(&self) -> Vec<SchedulerAggregate> {
+        gap_heuristics()
+            .enumerate()
+            .map(|(i, scheduler)| {
+                let mut agg = SchedulerAggregate {
+                    scheduler,
+                    ii_optimal: 0,
+                    ii_gap_total: 0,
+                    sc_gap_total: 0,
+                    max_live_gap_total: 0,
+                };
+                for l in self.loops.iter().filter(|l| l.proven) {
+                    let h = l.heuristics[i];
+                    if h.ii == l.exact.ii {
+                        agg.ii_optimal += 1;
+                    }
+                    agg.ii_gap_total += u64::from(h.ii - l.exact.ii);
+                    agg.sc_gap_total += i64::from(h.sc) - i64::from(l.exact.sc);
+                    agg.max_live_gap_total +=
+                        i64::from(h.max_live) - i64::from(l.exact.max_live);
+                }
+                agg
+            })
+            .collect()
+    }
+
+    /// Renders `BENCH_gap.json` (schema `regpipe-bench-gap/v1`). Every
+    /// field is deterministic; there are no timing fields to opt into.
+    pub fn to_json(&self) -> String {
+        let proven = self.proven();
+        let aggregate = self
+            .aggregates()
+            .iter()
+            .map(|a| {
+                Value::Object(vec![
+                    ("scheduler".into(), Value::Str(a.scheduler.slug().into())),
+                    ("ii_optimal".into(), Value::uint(u64::from(a.ii_optimal))),
+                    ("ii_gap_total".into(), Value::uint(a.ii_gap_total)),
+                    ("sc_gap_total".into(), Value::Int(a.sc_gap_total)),
+                    ("max_live_gap_total".into(), Value::Int(a.max_live_gap_total)),
+                ])
+            })
+            .collect();
+        let per_loop = self
+            .loops
+            .iter()
+            .map(|l| {
+                let schedulers = gap_heuristics()
+                    .zip(&l.heuristics)
+                    .map(|(k, h)| {
+                        let mut pairs = vec![
+                            ("scheduler".into(), Value::Str(k.slug().into())),
+                            ("ii".into(), Value::uint(u64::from(h.ii))),
+                            ("sc".into(), Value::uint(u64::from(h.sc))),
+                            ("max_live".into(), Value::uint(u64::from(h.max_live))),
+                        ];
+                        if l.proven {
+                            pairs.push((
+                                "ii_gap".into(),
+                                Value::uint(u64::from(h.ii - l.exact.ii)),
+                            ));
+                            pairs.push((
+                                "sc_gap".into(),
+                                Value::Int(i64::from(h.sc) - i64::from(l.exact.sc)),
+                            ));
+                            pairs.push((
+                                "max_live_gap".into(),
+                                Value::Int(i64::from(h.max_live) - i64::from(l.exact.max_live)),
+                            ));
+                        }
+                        Value::Object(pairs)
+                    })
+                    .collect();
+                Value::Object(vec![
+                    ("name".into(), Value::Str(l.name.clone())),
+                    ("proven".into(), Value::Bool(l.proven)),
+                    ("nodes".into(), Value::uint(l.nodes)),
+                    (
+                        "exact".into(),
+                        Value::Object(vec![
+                            ("ii".into(), Value::uint(u64::from(l.exact.ii))),
+                            ("sc".into(), Value::uint(u64::from(l.exact.sc))),
+                            ("max_live".into(), Value::uint(u64::from(l.exact.max_live))),
+                        ]),
+                    ),
+                    ("schedulers".into(), Value::Array(schedulers)),
+                ])
+            })
+            .collect();
+        let top = Value::Object(vec![
+            ("schema".into(), Value::Str("regpipe-bench-gap/v1".into())),
+            ("machine".into(), Value::Str(self.config.machine.name().to_string())),
+            ("source".into(), Value::Str(self.config.source.clone())),
+            ("node_budget".into(), Value::uint(self.config.node_budget)),
+            ("loops".into(), Value::uint(self.loops.len() as u64)),
+            ("proven".into(), Value::uint(u64::from(proven))),
+            ("unproven".into(), Value::uint(self.loops.len() as u64 - u64::from(proven))),
+            ("nodes_total".into(), Value::uint(self.nodes_total())),
+            ("aggregate".into(), Value::Array(aggregate)),
+            ("per_loop".into(), Value::Array(per_loop)),
+        ]);
+        let mut text = top.render();
+        text.push('\n');
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regpipe_loops::{generate, GenParams};
+    use regpipe_sched::DEFAULT_NODE_BUDGET;
+
+    fn small_corpus(count: usize) -> Vec<BenchLoop> {
+        let params = GenParams { min_ops: 2, max_ops: 8, ..GenParams::default() };
+        generate(7, count, &params).unwrap()
+    }
+
+    fn config(node_budget: u64) -> GapConfig {
+        GapConfig {
+            machine: MachineConfig::p2l4(),
+            node_budget,
+            jobs: NonZeroUsize::new(2).unwrap(),
+            source: "test".into(),
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic_across_worker_counts() {
+        let loops = small_corpus(12);
+        let a = run_gap(&loops, &config(DEFAULT_NODE_BUDGET)).to_json();
+        let b = run_gap(
+            &loops,
+            &GapConfig { jobs: NonZeroUsize::new(5).unwrap(), ..config(DEFAULT_NODE_BUDGET) },
+        )
+        .to_json();
+        assert_eq!(a, b, "worker count changed BENCH_gap.json bytes");
+        assert!(!a.contains("wall"), "gap reports never carry timing");
+        let doc = regpipe_exec::json::parse(&a).expect("report parses");
+        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-gap/v1".into())));
+        assert_eq!(doc.get("per_loop").and_then(Value::as_array).map(<[Value]>::len), Some(12));
+    }
+
+    #[test]
+    fn proven_loops_never_show_a_negative_ii_gap() {
+        let loops = small_corpus(15);
+        let report = run_gap(&loops, &config(DEFAULT_NODE_BUDGET));
+        assert!(report.proven() > 0, "small kernels must mostly prove");
+        for l in report.loops.iter().filter(|l| l.proven) {
+            for h in &l.heuristics {
+                assert!(
+                    h.ii >= l.exact.ii,
+                    "{}: heuristic II {} below proven optimum {}",
+                    l.name,
+                    h.ii,
+                    l.exact.ii
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_runs_report_everything_unproven() {
+        let loops = small_corpus(5);
+        let report = run_gap(&loops, &config(0));
+        assert_eq!(report.proven(), 0);
+        let text = report.to_json();
+        assert!(!text.contains("\"ii_gap\":"), "no gap fields without a proof:\n{text}");
+        // Aggregates over an empty proven subset are all zero.
+        for a in report.aggregates() {
+            assert_eq!((a.ii_optimal, a.ii_gap_total), (0, 0));
+        }
+    }
+}

@@ -11,6 +11,11 @@
 //! | `expt_fig8`    | Figure 8 — cycles / traffic / scheduling time          |
 //! | `expt_fig9`    | Figure 9 — increase-II vs spill vs best-of-all         |
 //!
+//! Beyond the paper figures, [`run_gap`] backs the `regpipe gap` verb:
+//! it schedules a corpus under the exact branch-and-bound oracle and
+//! every registered heuristic and reports the optimality gaps
+//! (`BENCH_gap.json`, schema `regpipe-bench-gap/v1`).
+//!
 //! Run them in release mode, e.g.
 //! `cargo run --release -p regpipe-bench --bin expt_table1`.
 //! Every binary honours `REGPIPE_SUITE_SIZE` (default 1258; a set value
@@ -23,8 +28,12 @@
 #![warn(missing_docs)]
 
 mod compile_bench;
+mod gap;
 
 pub use compile_bench::{run_compile_bench, CompileBenchConfig, CompileBenchReport, SizePoint};
+pub use gap::{
+    gap_heuristics, run_gap, GapConfig, GapReport, LoopGap, SchedPoint, SchedulerAggregate,
+};
 
 use std::num::NonZeroUsize;
 use std::time::Duration;

@@ -18,10 +18,16 @@
 //! * [`AsapScheduler`] — a register-insensitive top-down baseline
 //!   (the comparison point the paper cites from lifetime-insensitive
 //!   schedulers).
+//! * [`ExactScheduler`] — a branch-and-bound **optimality oracle**: it
+//!   enumerates IIs from MII upward and exhaustively refutes each
+//!   infeasible II within a deterministic node budget, reporting
+//!   [`ExactStatus::Proven`] or [`ExactStatus::BudgetExhausted`] so
+//!   results are never silently wrong (`regpipe gap` measures every
+//!   heuristic against it).
 //! * [`SchedulerKind`] — the scheduler registry: a serializable selector
-//!   over the three schedulers that itself implements [`Scheduler`], so
-//!   the choice of scheduler is a first-class axis of the evaluation
-//!   matrix (`--scheduler hrms|sms|asap` on the CLI).
+//!   over the registered schedulers that itself implements [`Scheduler`],
+//!   so the choice of scheduler is a first-class axis of the evaluation
+//!   matrix (`--scheduler hrms|sms|asap|exact` on the CLI).
 //! * [`Kernel`] — kernel extraction with stage annotations (Figure 2e).
 //!
 //! `docs/algorithms.md` in the repository walks the HRMS and SMS ordering
@@ -64,6 +70,7 @@
 
 mod analysis;
 mod asap_sched;
+mod exact;
 mod groups;
 mod hrms;
 mod kernel;
@@ -77,6 +84,7 @@ mod stage;
 
 pub use analysis::TimeAnalysis;
 pub use asap_sched::AsapScheduler;
+pub use exact::{ExactOutcome, ExactScheduler, ExactStatus, DEFAULT_NODE_BUDGET};
 pub use groups::ComplexGroups;
 pub use hrms::HrmsScheduler;
 pub use kernel::{Kernel, KernelSlot};

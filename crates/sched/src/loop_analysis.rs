@@ -148,7 +148,9 @@ pub struct LoopAnalysis<'a> {
     machine: &'a MachineConfig,
     groups: ComplexGroups,
     latency: Vec<i64>,
-    edges: Vec<TimedEdge>,
+    /// All edges with pre-resolved timing (the exact scheduler folds
+    /// these into its group-level difference constraints per II).
+    pub(crate) edges: Vec<TimedEdge>,
     /// Cross-group in-edges per op, in `ddg.in_edges` order.
     pub(crate) in_cross: Vec<Vec<CrossEdge>>,
     /// Cross-group out-edges per op, in `ddg.out_edges` order.

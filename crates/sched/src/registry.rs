@@ -14,8 +14,8 @@ use regpipe_ddg::Ddg;
 use regpipe_machine::MachineConfig;
 
 use crate::{
-    AsapScheduler, HrmsScheduler, LoopAnalysis, SchedError, SchedRequest, Schedule, Scheduler,
-    SmsScheduler,
+    AsapScheduler, ExactScheduler, HrmsScheduler, LoopAnalysis, SchedError, SchedRequest,
+    Schedule, Scheduler, SmsScheduler,
 };
 
 /// Which modulo scheduler to run — the scheduler axis of the evaluation
@@ -36,12 +36,18 @@ pub enum SchedulerKind {
     Sms,
     /// The register-insensitive top-down baseline ([`AsapScheduler`]).
     Asap,
+    /// The branch-and-bound optimality oracle ([`ExactScheduler`]) with
+    /// its default node budget — II-optimal whenever the search proves
+    /// it, best-effort (HRMS incumbent) when the budget runs out. The
+    /// budget is fixed here so the slug alone still identifies the
+    /// result (serve cache keys and reports carry only the slug).
+    Exact,
 }
 
 impl SchedulerKind {
     /// Every registered scheduler, in canonical (CLI help) order.
-    pub const ALL: [SchedulerKind; 3] =
-        [SchedulerKind::Hrms, SchedulerKind::Sms, SchedulerKind::Asap];
+    pub const ALL: [SchedulerKind; 4] =
+        [SchedulerKind::Hrms, SchedulerKind::Sms, SchedulerKind::Asap, SchedulerKind::Exact];
 
     /// The canonical CLI/report spelling.
     pub fn slug(self) -> &'static str {
@@ -49,6 +55,7 @@ impl SchedulerKind {
             SchedulerKind::Hrms => "hrms",
             SchedulerKind::Sms => "sms",
             SchedulerKind::Asap => "asap",
+            SchedulerKind::Exact => "exact",
         }
     }
 
@@ -62,7 +69,10 @@ impl SchedulerKind {
             "hrms" => Ok(SchedulerKind::Hrms),
             "sms" => Ok(SchedulerKind::Sms),
             "asap" => Ok(SchedulerKind::Asap),
-            other => Err(format!("unknown scheduler '{other}' (expected hrms, sms or asap)")),
+            "exact" => Ok(SchedulerKind::Exact),
+            other => {
+                Err(format!("unknown scheduler '{other}' (expected hrms, sms, asap or exact)"))
+            }
         }
     }
 }
@@ -88,6 +98,7 @@ impl Scheduler for SchedulerKind {
             SchedulerKind::Hrms => HrmsScheduler::new().schedule(ddg, machine, request),
             SchedulerKind::Sms => SmsScheduler::new().schedule(ddg, machine, request),
             SchedulerKind::Asap => AsapScheduler::new().schedule(ddg, machine, request),
+            SchedulerKind::Exact => ExactScheduler::new().schedule(ddg, machine, request),
         }
     }
 
@@ -100,6 +111,7 @@ impl Scheduler for SchedulerKind {
             SchedulerKind::Hrms => HrmsScheduler::new().schedule_in(ctx, request),
             SchedulerKind::Sms => SmsScheduler::new().schedule_in(ctx, request),
             SchedulerKind::Asap => AsapScheduler::new().schedule_in(ctx, request),
+            SchedulerKind::Exact => ExactScheduler::new().schedule_in(ctx, request),
         }
     }
 }
@@ -139,6 +151,7 @@ mod tests {
                 SchedulerKind::Hrms => HrmsScheduler::new().schedule(&g, &m, &req).unwrap(),
                 SchedulerKind::Sms => SmsScheduler::new().schedule(&g, &m, &req).unwrap(),
                 SchedulerKind::Asap => AsapScheduler::new().schedule(&g, &m, &req).unwrap(),
+                SchedulerKind::Exact => ExactScheduler::new().schedule(&g, &m, &req).unwrap(),
             };
             assert_eq!(via_kind, direct, "{kind} dispatch must be transparent");
             let via_ctx = kind.schedule_in(&LoopAnalysis::new(&g, &m), &req).unwrap();

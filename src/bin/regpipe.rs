@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("gap") => cmd_gap(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
@@ -64,7 +65,7 @@ fn usage(topic: Option<&str>) -> String {
 regpipe info <file.ddg> [--machine M] [--scheduler S]
   Facts about a loop: op mix, MII/RecMII, recurrences, and the
   unconstrained schedule's II and register requirement.
-  --scheduler hrms|sms|asap                            (default hrms)
+  --scheduler hrms|sms|asap|exact                      (default hrms)
 ";
     let compile_ = "\
 regpipe compile <file.ddg> [options]
@@ -72,7 +73,7 @@ regpipe compile <file.ddg> [options]
   --machine p1l4|p2l4|p2l6|uniform:<units>,<latency>   (default p2l4)
   --regs <n>                                           (default 32)
   --strategy best|spill|increase-ii                    (default best)
-  --scheduler hrms|sms|asap                            (default hrms)
+  --scheduler hrms|sms|asap|exact                      (default hrms)
   --heuristic lt|lt-traf                               (default lt-traf)
   --emit kernel|pipeline|dot|text                      (default kernel)
 ";
@@ -92,7 +93,7 @@ regpipe suite [options]
   --machine <m>     as for compile                     (default p2l4)
   --budgets <list>  comma-separated register budgets   (default 64,32)
   --strategies <l>  comma-separated strategies         (default best,spill,increase-ii)
-  --scheduler <s>   core scheduler: hrms|sms|asap      (default hrms)
+  --scheduler <s>   core scheduler: hrms|sms|asap|exact (default hrms)
   --out <file>      report path                        (default BENCH_suite.json)
 
 regpipe suite --dir <dir> [--size N] [--seed S]
@@ -135,10 +136,30 @@ regpipe bench [options]
   --machine <m>     as for compile               (default p2l4)
   --budgets <list>  register budgets             (default 64,32)
   --strategies <l>  strategies                   (default best,spill,increase-ii)
-  --scheduler <s>   core scheduler: hrms|sms|asap (default hrms)
+  --scheduler <s>   core scheduler: hrms|sms|asap|exact (default hrms)
   --before <file>   a previous timed BENCH_compile.json; records its
                     mean_wall_us per size plus the speedup in the output
   --out <file>      report path                  (default BENCH_compile.json)
+";
+    let gap_ = "\
+regpipe gap [options]
+  Measure heuristic optimality gaps: schedule a corpus with the exact
+  branch-and-bound oracle and every registered heuristic, and write
+  BENCH_gap.json (schema regpipe-bench-gap/v1) with per-loop and
+  aggregate II/SC/MaxLive gaps plus proven/unproven counts. Gaps are
+  attributed only to loops whose optimum the oracle proved within its
+  node budget. The report carries no timing fields, so runs
+  byte-compare at any --jobs value.
+  --corpus <dir>    gap an on-disk corpus (see `regpipe gen`/`check`)
+                    instead of a generated one; a .mach file in the
+                    corpus sets the machine unless --machine is given
+  --seed <s>        generator seed               (default 7)
+  --count <k>       kernels                      (default 100)
+  --max-ops <n>     most ops per kernel          (default 12)
+  --machine <m>     as for compile               (default p2l4)
+  --node-budget <n> oracle search nodes per loop (default 200000)
+  --jobs <n>        worker threads (default: REGPIPE_JOBS, then all cores)
+  --out <file>      report path                  (default BENCH_gap.json)
 ";
     let serve_ = "\
 regpipe serve [options]
@@ -171,7 +192,7 @@ regpipe replay [options]
                     (in-process)  (default: REGPIPE_JOBS, then all cores)
   --budgets <list>  comma-separated register budgets   (default 32)
   --strategy best|spill|increase-ii                    (default best)
-  --scheduler hrms|sms|asap                            (default hrms)
+  --scheduler hrms|sms|asap|exact                      (default hrms)
   --machine <m>     as for compile                     (default p2l4)
   --no-cache        (in-process mode) disable the daemon cache
   --stats-out <f>   write the daemon's final stats JSON to a file
@@ -190,7 +211,7 @@ regpipe bench-serve [options]
   --repeat <n>      passes                       (default 2)
   --budgets <list>  register budgets             (default 64,32)
   --strategy best|spill|increase-ii              (default best)
-  --scheduler hrms|sms|asap                      (default hrms)
+  --scheduler hrms|sms|asap|exact                (default hrms)
   --machine <m>     as for compile               (default p2l4)
   --jobs <n>        worker threads (default: REGPIPE_JOBS, then all cores)
   --no-cache        disable the daemon cache
@@ -203,12 +224,13 @@ regpipe bench-serve [options]
         Some("gen") => gen_.to_string(),
         Some("check") => check_.to_string(),
         Some("bench") => bench_.to_string(),
+        Some("gap") => gap_.to_string(),
         Some("serve") => serve_.to_string(),
         Some("replay") => replay_.to_string(),
         Some("bench-serve") => bench_serve_.to_string(),
         _ => format!(
-            "usage: regpipe <info|compile|suite|gen|check|bench|serve|replay|bench-serve|help> ...\n\n\
-             {info}\n{compile_}\n{suite_}\n{gen_}\n{check_}\n{bench_}\n{serve_}\n{replay_}\n\
+            "usage: regpipe <info|compile|suite|gen|check|bench|gap|serve|replay|bench-serve|help> ...\n\n\
+             {info}\n{compile_}\n{suite_}\n{gen_}\n{check_}\n{bench_}\n{gap_}\n{serve_}\n{replay_}\n\
              {bench_serve_}\n\
              The on-disk formats (.ddg loops, .mach machine descriptions, corpus\n\
              directory layout) are specified in docs/formats.md; the serve wire\n\
@@ -638,6 +660,93 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         );
     }
     fs::write(out_path, report.to_json(before.as_ref()))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+/// `regpipe gap`: heuristic optimality gaps against the exact oracle.
+fn cmd_gap(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let node_budget: u64 = match flags.get("--node-budget") {
+        None => regpipe::sched::DEFAULT_NODE_BUDGET,
+        Some(raw) => {
+            raw.parse().map_err(|_| format!("--node-budget must be an integer, got '{raw}'"))?
+        }
+    };
+    let jobs = resolve_jobs(flags.get("--jobs"))?;
+    let out_path = flags.get("--out").unwrap_or("BENCH_gap.json");
+
+    let (loops, machine, source) = if flags.has("--corpus") {
+        let dir = flags.get("--corpus").ok_or("--corpus needs a directory")?;
+        for flag in ["--seed", "--count", "--max-ops"] {
+            if flags.has(flag) {
+                return Err(format!(
+                    "{flag} does not apply to --corpus (the directory decides)"
+                ));
+            }
+        }
+        let corpus = load_corpus(dir).map_err(|e| format!("corpus {dir} is invalid:\n{e}"))?;
+        let machine = match (flags.get("--machine"), corpus.machine) {
+            (Some(spec), _) => parse_machine(spec)?,
+            (None, Some(m)) => m,
+            (None, None) => MachineConfig::p2l4(),
+        };
+        (corpus.loops, machine, format!("corpus:{dir}"))
+    } else {
+        // Small kernels by default: the oracle's search space grows fast
+        // with op count, and the gap corpus is about proof coverage, not
+        // stress volume.
+        let seed: u64 = flags
+            .get("--seed")
+            .unwrap_or("7")
+            .parse()
+            .map_err(|_| "bad --seed value".to_string())?;
+        let count: usize = match flags.get("--count").unwrap_or("100").parse() {
+            Ok(n) if n > 0 => n,
+            _ => return Err("--count must be a positive integer".into()),
+        };
+        let max_ops: usize = match flags.get("--max-ops").unwrap_or("12").parse() {
+            Ok(n) if n >= 2 => n,
+            _ => return Err("--max-ops must be an integer >= 2".into()),
+        };
+        let defaults = GenParams::default();
+        let params = GenParams { min_ops: defaults.min_ops.min(max_ops), max_ops, ..defaults };
+        let loops = generate(seed, count, &params)?;
+        let machine = parse_machine(flags.get("--machine").unwrap_or("p2l4"))?;
+        (loops, machine, format!("gen:seed={seed},count={count},max_ops={max_ops}"))
+    };
+
+    let config = regpipe::bench::GapConfig { machine, node_budget, jobs, source };
+    let report = regpipe::bench::run_gap(&loops, &config);
+    let proven = report.proven();
+    println!(
+        "=== optimality gaps: {} loops ({}), machine {}, node budget {} ===",
+        report.loops.len(),
+        config.source,
+        config.machine.name(),
+        config.node_budget
+    );
+    println!(
+        "proven optimal: {proven}/{} loops ({} search nodes)",
+        report.loops.len(),
+        report.nodes_total()
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>16}",
+        "sched", "II-optimal", "sum II gap", "sum SC gap", "sum MaxLive gap"
+    );
+    for a in report.aggregates() {
+        println!(
+            "{:<8} {:>7}/{proven} {:>12} {:>12} {:>16}",
+            a.scheduler.slug(),
+            a.ii_optimal,
+            a.ii_gap_total,
+            a.sc_gap_total,
+            a.max_live_gap_total
+        );
+    }
+    fs::write(out_path, report.to_json())
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!("wrote {out_path}");
     Ok(())

@@ -159,7 +159,7 @@ fn scheduler_flag_is_documented_and_strictly_validated() {
         assert!(out.status.success(), "help {topic} must exit 0");
         let stdout = String::from_utf8(out.stdout).unwrap();
         assert!(stdout.contains("--scheduler"), "help {topic} must document --scheduler");
-        assert!(stdout.contains("hrms|sms|asap"), "help {topic} must list the registry");
+        assert!(stdout.contains("hrms|sms|asap|exact"), "help {topic} must list the registry");
     }
     let dir = scratch_dir("sched-flag");
     let ddg = example_ddg(&dir);
@@ -188,7 +188,7 @@ fn info_reports_every_scheduler_on_the_example() {
     let dir = scratch_dir("info-sched");
     let ddg = example_ddg(&dir);
     let mut regs = Vec::new();
-    for scheduler in ["hrms", "sms", "asap"] {
+    for scheduler in ["hrms", "sms", "asap", "exact"] {
         let out = run_ok({
             let mut c = bin();
             c.arg("info").arg(&ddg).args(["--scheduler", scheduler]);
@@ -211,6 +211,52 @@ fn info_reports_every_scheduler_on_the_example() {
     let (hrms, sms, asap) = (regs[0], regs[1], regs[2]);
     assert!(hrms <= asap, "hrms {hrms} regs must not exceed asap {asap}");
     assert!(sms <= asap, "sms {sms} regs must not exceed asap {asap}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The `gap` verb end-to-end: documented in help, knobs validated, and
+/// the report carries its schema with a nonzero proven count on a small
+/// default-budget corpus.
+#[test]
+fn gap_verb_is_documented_validated_and_proves_small_kernels() {
+    let out = run_ok({
+        let mut c = bin();
+        c.args(["help", "gap"]);
+        c
+    });
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in ["--node-budget", "--corpus", "regpipe-bench-gap/v1"] {
+        assert!(stdout.contains(needle), "help gap missing '{needle}'");
+    }
+    for (args, needle) in [
+        (&["gap", "--node-budget", "nope"][..], "--node-budget"),
+        (&["gap", "--count", "0"], "--count"),
+        (&["gap", "--max-ops", "1"], "--max-ops"),
+        (&["gap", "--corpus", "d", "--seed", "9"], "--seed does not apply"),
+        (&["gap", "--corpus"], "--corpus needs a directory"),
+    ] {
+        let out = bin().args(args).output().expect("spawn regpipe");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+    let dir = scratch_dir("gap-run");
+    let json_path = dir.join("gap.json");
+    let out = run_ok({
+        let mut c = bin();
+        c.args(["gap", "--count", "10", "--jobs", "2", "--out"]).arg(&json_path);
+        c
+    });
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("proven optimal:"), "{stdout}");
+    let report = fs::read_to_string(&json_path).expect("report written");
+    let doc = regpipe::exec::json::parse(&report).expect("report parses");
+    assert_eq!(
+        doc.get("schema").and_then(regpipe::exec::json::Value::as_str),
+        Some("regpipe-bench-gap/v1")
+    );
+    let proven = doc.get("proven").and_then(regpipe::exec::json::Value::as_i64).unwrap();
+    assert!(proven > 0, "default budget must prove small kernels:\n{report}");
     let _ = fs::remove_dir_all(&dir);
 }
 

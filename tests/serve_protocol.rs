@@ -161,7 +161,10 @@ fn two_pass_replay_of_the_gen_corpus_hits_at_least_first_pass_misses() {
 #[test]
 fn replay_streams_are_identical_across_cache_and_jobs_for_all_schedulers() {
     let dir = scratch_dir("det-gate");
-    for scheduler in ["hrms", "sms", "asap"] {
+    // The exact oracle leg is smaller: branch-and-bound on the default
+    // gen kernels is heavier than one heuristic pass, and the gate is
+    // about bytes, not volume.
+    for (scheduler, count) in [("hrms", "30"), ("sms", "30"), ("asap", "30"), ("exact", "12")] {
         let mut streams = Vec::new();
         for (tag, args) in [
             ("cache-jobs1", &["--jobs", "1"][..]),
@@ -170,7 +173,7 @@ fn replay_streams_are_identical_across_cache_and_jobs_for_all_schedulers() {
         ] {
             let out = run_ok({
                 let mut c = bin();
-                c.args(["replay", "--seed", "11", "--count", "30", "--repeat", "2"])
+                c.args(["replay", "--seed", "11", "--count", count, "--repeat", "2"])
                     .args(["--scheduler", scheduler])
                     .args(args)
                     .stderr(Stdio::null());
@@ -182,6 +185,43 @@ fn replay_streams_are_identical_across_cache_and_jobs_for_all_schedulers() {
         assert_eq!(streams[0].1, streams[1].1, "{scheduler}: --jobs changed bytes");
         assert_eq!(streams[0].1, streams[2].1, "{scheduler}: cache changed bytes");
     }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The ISSUE 8 determinism fix, CLI edition: `suite --scheduler exact`
+/// and `regpipe gap` reports must be byte-identical at `--jobs 1` vs
+/// `--jobs 4` (the serve cache on/off half of the gate is the exact leg
+/// of `replay_streams_are_identical_across_cache_and_jobs_for_all_schedulers`).
+#[test]
+fn suite_exact_and_gap_reports_are_byte_identical_across_jobs() {
+    let dir = scratch_dir("exact-jobs");
+    let mut suites = Vec::new();
+    let mut gaps = Vec::new();
+    for jobs in ["1", "4"] {
+        let suite_path = dir.join(format!("suite-{jobs}.json"));
+        run_ok({
+            let mut c = bin();
+            c.args(["suite", "--size", "8", "--scheduler", "exact", "--jobs", jobs, "--out"])
+                .arg(&suite_path)
+                .stdout(Stdio::null())
+                .stderr(Stdio::null());
+            c
+        });
+        suites.push(fs::read_to_string(&suite_path).expect("suite report written"));
+        let gap_path = dir.join(format!("gap-{jobs}.json"));
+        run_ok({
+            let mut c = bin();
+            c.args(["gap", "--count", "15", "--jobs", jobs, "--out"])
+                .arg(&gap_path)
+                .stdout(Stdio::null());
+            c
+        });
+        gaps.push(fs::read_to_string(&gap_path).expect("gap report written"));
+    }
+    assert_eq!(suites[0], suites[1], "suite --scheduler exact differs across --jobs");
+    assert!(suites[0].contains("\"scheduler\":\"exact\""), "{}", suites[0]);
+    assert_eq!(gaps[0], gaps[1], "BENCH_gap.json differs across --jobs");
+    assert!(gaps[0].contains("\"schema\":\"regpipe-bench-gap/v1\""));
     let _ = fs::remove_dir_all(&dir);
 }
 
