@@ -100,6 +100,8 @@ impl<S: Scheduler + Clone> BestOfAllDriver<S> {
         let mut probes = 0u32;
         let mut best: Option<(Schedule, AllocationResult)> = None;
         while lo <= hi {
+            // Cooperative deadline check-point: one per search probe.
+            regpipe_sched::deadline::check();
             let mid = lo + (hi - lo) / 2;
             probes += 1;
             match prober.probe_in(&ctx, mid) {

@@ -142,6 +142,8 @@ impl<S: Scheduler> IncreaseIiDriver<S> {
 
         let mut ii = lower;
         loop {
+            // Cooperative deadline check-point: one per II probe.
+            regpipe_sched::deadline::check();
             let sched = match self
                 .scheduler
                 .schedule_in(&ctx, &SchedRequest { min_ii: Some(ii), max_ii: None })

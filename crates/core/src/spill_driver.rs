@@ -222,6 +222,8 @@ impl<S: Scheduler> SpillDriver<S> {
         let mut prev_ii: Option<u32> = None;
 
         loop {
+            // Cooperative deadline check-point: one per spill round.
+            regpipe_sched::deadline::check();
             if reschedules >= self.options.max_rounds {
                 return Err(SpillFailure {
                     kind: SpillFailureKind::RoundCap,
@@ -357,6 +359,8 @@ impl<S: Scheduler> SpillDriver<S> {
             let ctx = LoopAnalysis::new(&g, machine);
             let mut ii = from_ii + 1;
             loop {
+                // Cooperative deadline check-point: one per sweep step.
+                regpipe_sched::deadline::check();
                 if reschedules >= self.options.max_rounds {
                     break Err(SpillFailureKind::RoundCap);
                 }

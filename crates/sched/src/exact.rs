@@ -313,6 +313,11 @@ impl Budget {
             return false;
         }
         self.used += 1;
+        // The cooperative deadline check-point: every 1024 nodes is often
+        // enough to bound latency and rare enough to cost nothing.
+        if self.used & 0x3FF == 0 {
+            crate::deadline::check();
+        }
         true
     }
 }

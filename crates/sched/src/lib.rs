@@ -82,6 +82,8 @@ mod schedule;
 mod sms;
 mod stage;
 
+pub mod deadline;
+
 pub use analysis::TimeAnalysis;
 pub use asap_sched::AsapScheduler;
 pub use exact::{ExactOutcome, ExactScheduler, ExactStatus, DEFAULT_NODE_BUDGET};

@@ -94,6 +94,7 @@ impl Scheduler for SchedulerKind {
         machine: &MachineConfig,
         request: &SchedRequest,
     ) -> Result<Schedule, SchedError> {
+        crate::deadline::check();
         match self {
             SchedulerKind::Hrms => HrmsScheduler::new().schedule(ddg, machine, request),
             SchedulerKind::Sms => SmsScheduler::new().schedule(ddg, machine, request),
@@ -107,6 +108,9 @@ impl Scheduler for SchedulerKind {
         ctx: &LoopAnalysis<'_>,
         request: &SchedRequest,
     ) -> Result<Schedule, SchedError> {
+        // Every driver round and II probe funnels through this dispatch,
+        // so one cooperative deadline check-point here bounds them all.
+        crate::deadline::check();
         match self {
             SchedulerKind::Hrms => HrmsScheduler::new().schedule_in(ctx, request),
             SchedulerKind::Sms => SmsScheduler::new().schedule_in(ctx, request),

@@ -204,6 +204,16 @@ impl Shard {
         self.evictions += 1;
     }
 
+    /// Resident entries, least-recently-used first (tail to head), so a
+    /// replay of the dump in order rebuilds the same recency.
+    fn dump(&self, out: &mut Vec<(CacheKey, String)>) {
+        let mut i = self.tail;
+        while i != NIL {
+            out.push((self.nodes[i].key.clone(), self.nodes[i].payload.clone()));
+            i = self.nodes[i].prev;
+        }
+    }
+
     fn stats(&self) -> ShardStats {
         ShardStats {
             hits: self.hits,
@@ -265,6 +275,18 @@ impl ShardedCache {
             t.bytes += s.bytes;
         }
         t
+    }
+
+    /// Snapshot of every resident entry for the persistent store's
+    /// compaction: shard-index order, oldest-first within each shard, so
+    /// replaying the dump in order rebuilds (approximately) the same
+    /// recency on restart.
+    pub fn dump(&self) -> Vec<(CacheKey, String)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").dump(&mut out);
+        }
+        out
     }
 
     /// Number of shards.
@@ -345,6 +367,19 @@ mod tests {
         let mut k2 = key(42);
         k2.budget = 64;
         assert_ne!(k.stable_hash(), k2.stable_hash());
+    }
+
+    #[test]
+    fn dump_lists_live_entries_oldest_first() {
+        let c = ShardedCache::new(1, 1 << 20);
+        for n in 0..3 {
+            c.insert(key(n), format!("p{n}"));
+        }
+        assert!(c.get(&key(0)).is_some()); // 0 becomes most-recent
+        let dump = c.dump();
+        let order: Vec<u64> = dump.iter().map(|(k, _)| k.ddg_hash).collect();
+        assert_eq!(order, vec![1, 2, 0], "LRU tail first, refreshed entry last");
+        assert_eq!(dump[0].1, "p1");
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! `regpipe chaos`: the deterministic crash-recovery gate.
+//!
+//! The harness proves the crash-only story end to end, with real
+//! processes and a real on-disk cache, on a schedule that is a pure
+//! function of one seed. Each cycle:
+//!
+//! 1. **Survivable faults** — a daemon is spawned with an injected
+//!    compile panic (and, while the cache is cold, a bit flip and a torn
+//!    append in the store). The full workload is replayed against it:
+//!    exactly one response may differ from the no-fault baseline, it must
+//!    be a structured `internal` error, and re-requesting it on the same
+//!    socket must succeed — the daemon kept serving. It is then shut
+//!    down gracefully (fsyncing its log).
+//! 2. **Crash mid-write** — a fresh daemon is spawned with a `crash`
+//!    fault armed on its first store append and fed one never-cached
+//!    request; the daemon dies mid-frame (`abort`, the moral equivalent
+//!    of `kill -9`). A clean daemon is then started on the same cache
+//!    dir — it must start (reclaiming the stale socket the dead daemon
+//!    left behind), recover everything but the torn suffix, and answer
+//!    the whole workload byte-identically to the baseline.
+//!
+//! After the last cycle a final clean daemon replays the workload once
+//! more; those responses are the run's output (`--out`) and must equal
+//! the baseline byte for byte. Any deviation anywhere fails the run.
+
+use std::io::Write as _;
+use std::num::NonZeroUsize;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use regpipe_exec::json::{parse as parse_json, Value};
+
+use crate::fault::FAULT_ENV;
+use crate::replay::{
+    base_requests, replay_in_process, replay_socket, request_once, IdPolicy, ReplayConfig,
+    ReplaySource, RetryPolicy,
+};
+use crate::server::{attach_id, ServeOptions, Server};
+
+/// Configuration of one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// The `regpipe` binary to spawn daemons from (normally
+    /// `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// Unix socket path shared by every spawned daemon.
+    pub socket: PathBuf,
+    /// Persistent cache directory shared by every spawned daemon.
+    pub cache_dir: PathBuf,
+    /// Inject–crash–restart cycles to run.
+    pub cycles: u32,
+    /// Seed for the workload and the fault schedules.
+    pub seed: u64,
+    /// Workload kernels (generator semantics); at least 4.
+    pub count: usize,
+    /// Client-side replay concurrency.
+    pub jobs: NonZeroUsize,
+    /// Per-request replay options (budgets, strategy, scheduler).
+    pub replay: ReplayConfig,
+}
+
+/// The outcome of a chaos run that passed every check.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Cycles completed.
+    pub cycles: u32,
+    /// Requests in one workload pass.
+    pub requests: usize,
+    /// Replay concurrency used.
+    pub jobs: usize,
+    /// Workload/fault seed.
+    pub seed: u64,
+    /// Injected panics caught by the daemons (one per cycle).
+    pub panics_caught: u64,
+    /// Entries recovered from disk, summed over every daemon start.
+    pub recovered_entries: u64,
+    /// Corrupt frames/suffixes dropped, summed over every daemon start.
+    pub dropped_corrupt_entries: u64,
+    /// Mid-write crashes survived (one per cycle).
+    pub crashes: u32,
+    /// The final clean replay's responses, in stream order — byte-equal
+    /// to the never-crashed baseline (written out via `--out`).
+    pub final_responses: Vec<String>,
+}
+
+impl ChaosReport {
+    /// The summary JSON printed by `regpipe chaos` (schema
+    /// `regpipe-chaos/v1`; the response lines go to `--out`, not here).
+    pub fn render_json(&self) -> String {
+        Value::Object(vec![
+            ("schema".to_string(), Value::Str("regpipe-chaos/v1".into())),
+            ("ok".to_string(), Value::Bool(true)),
+            ("cycles".to_string(), Value::uint(u64::from(self.cycles))),
+            ("requests".to_string(), Value::uint(self.requests as u64)),
+            ("jobs".to_string(), Value::uint(self.jobs as u64)),
+            ("seed".to_string(), Value::uint(self.seed)),
+            ("panics_caught".to_string(), Value::uint(self.panics_caught)),
+            ("recovered_entries".to_string(), Value::uint(self.recovered_entries)),
+            ("dropped_corrupt_entries".to_string(), Value::uint(self.dropped_corrupt_entries)),
+            ("crashes".to_string(), Value::uint(u64::from(self.crashes))),
+        ])
+        .render()
+    }
+}
+
+/// A spawned daemon process; killed on drop unless reaped first.
+struct Daemon {
+    child: Option<Child>,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Daemon {
+    /// Spawns `exe serve --socket ... --cache-dir ...` with an optional
+    /// fault plan and waits until the socket accepts connections.
+    fn spawn(config: &ChaosConfig, fault_plan: Option<&str>) -> Result<Daemon, String> {
+        let mut cmd = Command::new(&config.exe);
+        cmd.arg("serve")
+            .arg("--socket")
+            .arg(&config.socket)
+            .arg("--cache-dir")
+            .arg(&config.cache_dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        match fault_plan {
+            Some(plan) => {
+                cmd.env(FAULT_ENV, plan);
+            }
+            None => {
+                cmd.env_remove(FAULT_ENV);
+            }
+        }
+        let child = cmd.spawn().map_err(|e| format!("cannot spawn daemon: {e}"))?;
+        let mut daemon = Daemon { child: Some(child) };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if UnixStream::connect(&config.socket).is_ok() {
+                return Ok(daemon);
+            }
+            if let Some(status) =
+                daemon.child.as_mut().and_then(|c| c.try_wait().ok()).flatten()
+            {
+                return Err(format!("daemon exited before accepting: {status}"));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Err("daemon did not start accepting within 10s".into())
+    }
+
+    /// Reaps the process after it exits on its own (graceful shutdown or
+    /// an injected crash).
+    fn reap(mut self) -> Result<std::process::ExitStatus, String> {
+        let mut child = self.child.take().expect("daemon already reaped");
+        child.wait().map_err(|e| format!("cannot wait for daemon: {e}"))
+    }
+}
+
+/// Reads the robustness counters out of a daemon's `stats` response.
+fn stats_counters(socket: &std::path::Path) -> Result<(u64, u64, u64), String> {
+    let line = request_once(socket, "{\"op\":\"stats\"}")
+        .map_err(|e| format!("stats request failed: {e}"))?;
+    let doc = parse_json(&line).map_err(|e| format!("stats response unparsable: {e}"))?;
+    let count =
+        |v: Option<&Value>| v.and_then(Value::as_i64).map(|n| n.max(0) as u64).unwrap_or(0);
+    let store = doc.get("store");
+    Ok((
+        count(doc.get("panics_caught")),
+        count(store.and_then(|s| s.get("recovered_entries"))),
+        count(store.and_then(|s| s.get("dropped_corrupt_entries"))),
+    ))
+}
+
+/// One never-before-seen compile request for cycle `cycle` (a budget no
+/// workload request uses), with the id it is sent under.
+fn sacrificial_request(config: &ChaosConfig, cycle: u32) -> Result<String, String> {
+    let special = ReplayConfig { budgets: vec![997 + cycle], ..config.replay.clone() };
+    let base = base_requests(&ReplaySource::Gen { seed: config.seed, count: 1 }, &special)?;
+    let line = base.into_iter().next().ok_or("empty sacrificial workload")?;
+    Ok(attach_id(Some(i64::from(1_000_000 + cycle)), &line))
+}
+
+/// Runs the full chaos gate. Returns a report only if **every** check in
+/// every cycle passed; the error string names the first violated check.
+///
+/// # Errors
+///
+/// Configuration problems, daemon spawn/protocol failures, and — the
+/// point of the harness — any byte deviating from the baseline.
+pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, String> {
+    if config.count < 4 {
+        return Err("chaos needs --count >= 4 (fault indices span the append log)".into());
+    }
+    if config.cycles == 0 {
+        return Err("chaos needs --cycles >= 1".into());
+    }
+    let source = ReplaySource::Gen { seed: config.seed, count: config.count };
+    let base = base_requests(&source, &config.replay)?;
+    let total = base.len();
+
+    // The never-crashed oracle: an in-process server computes the
+    // baseline response stream and the expected sacrificial responses.
+    let oracle = Server::new(ServeOptions::default());
+    let baseline =
+        replay_in_process(&oracle, &base, 1, config.jobs, IdPolicy::Stream).responses;
+
+    let mut report = ChaosReport {
+        cycles: config.cycles,
+        requests: total,
+        jobs: config.jobs.get(),
+        seed: config.seed,
+        panics_caught: 0,
+        recovered_entries: 0,
+        dropped_corrupt_entries: 0,
+        crashes: 0,
+        final_responses: Vec::new(),
+    };
+
+    for cycle in 0..config.cycles {
+        // Phase A: survivable faults. While the cache is cold (cycle 0)
+        // every request appends, so a flip and a torn append can be
+        // scheduled too; warm cycles only have the panic to inject.
+        let plan = if cycle == 0 {
+            format!("{}:panic@2,flip@{},torn@{}", config.seed, total / 2, total)
+        } else {
+            format!("{}:panic@2", config.seed)
+        };
+        let daemon = Daemon::spawn(config, Some(&plan))?;
+        let outcome = replay_socket(
+            &config.socket,
+            &base,
+            1,
+            config.jobs,
+            IdPolicy::Stream,
+            RetryPolicy::default(),
+        )
+        .map_err(|e| format!("cycle {cycle}: faulted replay failed: {e}"))?;
+        let diffs: Vec<usize> =
+            (0..total).filter(|&i| outcome.responses[i] != baseline[i]).collect();
+        let &[victim] = diffs.as_slice() else {
+            return Err(format!(
+                "cycle {cycle}: expected exactly one faulted response, found {} ({diffs:?})",
+                diffs.len()
+            ));
+        };
+        let faulted = &outcome.responses[victim];
+        if !faulted.contains("\"kind\":\"internal\"") || !faulted.contains("\"ok\":false") {
+            return Err(format!(
+                "cycle {cycle}: faulted response is not a structured internal error: {faulted}"
+            ));
+        }
+        // The daemon must still serve — the same request now succeeds,
+        // byte-identical to the baseline.
+        let line = attach_id(Some(victim as i64), &base[victim]);
+        let retried = request_once(&config.socket, &line)
+            .map_err(|e| format!("cycle {cycle}: re-request after panic failed: {e}"))?;
+        if retried != baseline[victim] {
+            return Err(format!(
+                "cycle {cycle}: post-panic re-request deviates from baseline:\n  got  {retried}\n  want {}",
+                baseline[victim]
+            ));
+        }
+        let (panics, recovered, dropped) = stats_counters(&config.socket)?;
+        if panics != 1 {
+            return Err(format!("cycle {cycle}: expected 1 caught panic, stats say {panics}"));
+        }
+        report.panics_caught += panics;
+        report.recovered_entries += recovered;
+        report.dropped_corrupt_entries += dropped;
+        let ack = request_once(&config.socket, "{\"op\":\"shutdown\"}")
+            .map_err(|e| format!("cycle {cycle}: shutdown failed: {e}"))?;
+        if !ack.contains("\"drained_connections\":") {
+            return Err(format!("cycle {cycle}: shutdown ack lacks drain count: {ack}"));
+        }
+        let status = daemon.reap()?;
+        if !status.success() {
+            return Err(format!("cycle {cycle}: faulted daemon exited dirty: {status}"));
+        }
+
+        // Phase B: crash mid-write. The sacrificial request is never in
+        // the cache, so it must append — and the armed fault aborts the
+        // process partway through that frame.
+        let daemon = Daemon::spawn(config, Some(&format!("{}:crash@1", config.seed)))?;
+        let line = sacrificial_request(config, cycle)?;
+        match request_once(&config.socket, &line) {
+            Err(_) => {}
+            Ok(reply) if reply.is_empty() => {}
+            Ok(reply) => {
+                return Err(format!(
+                    "cycle {cycle}: the crash fault did not fire; daemon answered: {reply}"
+                ))
+            }
+        }
+        let status = daemon.reap()?;
+        if status.success() {
+            return Err(format!("cycle {cycle}: crash daemon exited cleanly: {status}"));
+        }
+        report.crashes += 1;
+
+        // Recovery: a clean daemon on the same cache dir (and the dead
+        // daemon's stale socket) must start and serve the whole workload
+        // byte-identically, warm or not.
+        let daemon = Daemon::spawn(config, None)?;
+        let outcome = replay_socket(
+            &config.socket,
+            &base,
+            1,
+            config.jobs,
+            IdPolicy::Stream,
+            RetryPolicy { attempts: 3, backoff_ms: 20, seed: config.seed },
+        )
+        .map_err(|e| format!("cycle {cycle}: post-crash replay failed: {e}"))?;
+        if outcome.responses != baseline {
+            let bad = (0..total).find(|&i| outcome.responses[i] != baseline[i]).unwrap_or(0);
+            return Err(format!(
+                "cycle {cycle}: post-crash replay deviates at index {bad}:\n  got  {}\n  want {}",
+                outcome.responses[bad], baseline[bad]
+            ));
+        }
+        // The request the crash interrupted completes now.
+        let expected = oracle.handle_line(&line).line;
+        let healed = request_once(&config.socket, &line)
+            .map_err(|e| format!("cycle {cycle}: post-crash sacrificial failed: {e}"))?;
+        if healed != expected {
+            return Err(format!(
+                "cycle {cycle}: post-crash sacrificial deviates:\n  got  {healed}\n  want {expected}"
+            ));
+        }
+        let (_, recovered, dropped) = stats_counters(&config.socket)?;
+        if dropped == 0 {
+            return Err(format!(
+                "cycle {cycle}: recovery dropped nothing — the torn frame went undetected"
+            ));
+        }
+        report.recovered_entries += recovered;
+        report.dropped_corrupt_entries += dropped;
+        request_once(&config.socket, "{\"op\":\"shutdown\"}")
+            .map_err(|e| format!("cycle {cycle}: recovery shutdown failed: {e}"))?;
+        let status = daemon.reap()?;
+        if !status.success() {
+            return Err(format!("cycle {cycle}: recovery daemon exited dirty: {status}"));
+        }
+        eprintln!(
+            "chaos: cycle {cycle}: panic caught, torn/crashed frames dropped, \
+             replay byte-identical"
+        );
+    }
+
+    // Final verdict: a clean warm daemon answers the whole workload
+    // byte-identically to the never-crashed oracle.
+    let daemon = Daemon::spawn(config, None)?;
+    let outcome = replay_socket(
+        &config.socket,
+        &base,
+        1,
+        config.jobs,
+        IdPolicy::Stream,
+        RetryPolicy::default(),
+    )
+    .map_err(|e| format!("final replay failed: {e}"))?;
+    if outcome.responses != baseline {
+        let bad = (0..total).find(|&i| outcome.responses[i] != baseline[i]).unwrap_or(0);
+        return Err(format!(
+            "final replay deviates at index {bad}:\n  got  {}\n  want {}",
+            outcome.responses[bad], baseline[bad]
+        ));
+    }
+    request_once(&config.socket, "{\"op\":\"shutdown\"}")
+        .map_err(|e| format!("final shutdown failed: {e}"))?;
+    daemon.reap()?;
+    report.final_responses = outcome.responses;
+    Ok(report)
+}
+
+/// Writes response lines to a file (the `--out` sink).
+///
+/// # Errors
+///
+/// Reports the file path on failure.
+pub fn write_responses(path: &std::path::Path, responses: &[String]) -> Result<(), String> {
+    let mut out = String::with_capacity(responses.iter().map(|r| r.len() + 1).sum());
+    for line in responses {
+        out.push_str(line);
+        out.push('\n');
+    }
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(out.as_bytes()))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}

@@ -72,6 +72,11 @@ pub fn read_request_line<R: BufRead>(reader: &mut R, max_bytes: usize) -> io::Re
 /// Serves one JSON-lines connection until EOF or shutdown: every
 /// non-blank line gets exactly one response line, flushed immediately.
 ///
+/// The connection registers itself for the server's drain accounting.
+/// Once a shutdown has been acknowledged anywhere, the connection closes
+/// after finishing (and answering) its current request — an in-flight
+/// compile always completes, it is never reset mid-response.
+///
 /// # Errors
 ///
 /// Propagates I/O errors from the transport.
@@ -80,6 +85,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
     reader: &mut R,
     writer: &mut W,
 ) -> io::Result<()> {
+    let _tracked = server.track_connection();
     loop {
         match read_request_line(reader, server.max_request_bytes())? {
             ReadLine::Eof => return Ok(()),
@@ -94,7 +100,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
                 let response = server.handle_line(&line);
                 writeln!(writer, "{}", response.line)?;
                 writer.flush()?;
-                if response.shutdown {
+                if response.shutdown || server.is_shutdown() {
                     return Ok(());
                 }
             }
@@ -113,18 +119,67 @@ pub fn serve_stdin(server: &Server) -> io::Result<()> {
     serve_connection(server, &mut stdin.lock(), &mut stdout.lock())
 }
 
-/// Runs the daemon on a unix socket at `path` (a stale socket file is
-/// replaced), one thread per connection, until a client's `shutdown`
-/// request is acknowledged. The socket file is removed on exit.
+/// Claims the socket path for a new daemon. An existing file is removed
+/// only when it provably belongs to a *dead* daemon: it must be a unix
+/// socket AND connecting to it must be refused. A live daemon (connect
+/// succeeds) or a foreign file (not a socket) is an error — never
+/// silently unlinked.
 ///
 /// # Errors
 ///
-/// Propagates bind errors; per-connection I/O errors only end that
-/// connection.
+/// `AddrInUse` for a live daemon, `InvalidInput` for a non-socket file;
+/// probe/remove I/O errors pass through.
+#[cfg(unix)]
+pub fn claim_socket(path: &Path) -> io::Result<()> {
+    use std::os::unix::fs::FileTypeExt as _;
+    let meta = match std::fs::symlink_metadata(path) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+        Ok(meta) => meta,
+    };
+    if !meta.file_type().is_socket() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{} exists and is not a socket; refusing to replace it", path.display()),
+        ));
+    }
+    match UnixStream::connect(path) {
+        Ok(_) => Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!("a daemon is already listening on {}", path.display()),
+        )),
+        Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+            // A socket nobody accepts on: the previous daemon died
+            // without cleaning up. Safe to reclaim.
+            std::fs::remove_file(path)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Runs the daemon on a unix socket at `path` (a provably-stale socket
+/// file is reclaimed, see [`claim_socket`]), one thread per connection,
+/// until a client's `shutdown` request is acknowledged. Shutdown then
+/// *drains*: other in-flight connections get up to
+/// [`Server::drain_ms`] to finish their current request, after which
+/// any stragglers are closed forcibly. The socket file is removed on
+/// exit.
+///
+/// # Errors
+///
+/// Propagates claim and bind errors; per-connection I/O errors only end
+/// that connection.
 #[cfg(unix)]
 pub fn serve_socket(server: &Server, path: &Path) -> io::Result<()> {
-    let _ = std::fs::remove_file(path);
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    claim_socket(path)?;
     let listener = UnixListener::bind(path)?;
+    // Every live connection's stream, so the drain can close stragglers.
+    let registry: Mutex<HashMap<u64, UnixStream>> = Mutex::new(HashMap::new());
+    let mut next_id = 0u64;
     std::thread::scope(|scope| {
         for stream in listener.incoming() {
             if server.is_shutdown() {
@@ -134,6 +189,12 @@ pub fn serve_socket(server: &Server, path: &Path) -> io::Result<()> {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            let id = next_id;
+            next_id += 1;
+            if let Ok(clone) = stream.try_clone() {
+                registry.lock().expect("connection registry poisoned").insert(id, clone);
+            }
+            let registry = &registry;
             scope.spawn(move || {
                 let mut reader = io::BufReader::new(match stream.try_clone() {
                     Ok(clone) => clone,
@@ -141,11 +202,21 @@ pub fn serve_socket(server: &Server, path: &Path) -> io::Result<()> {
                 });
                 let mut writer = &stream;
                 let _ = serve_connection(server, &mut reader, &mut writer);
+                registry.lock().expect("connection registry poisoned").remove(&id);
                 if server.is_shutdown() {
                     // Wake the blocking accept loop so it observes the flag.
                     let _ = UnixStream::connect(path);
                 }
             });
+        }
+        // Bounded drain: let in-flight requests complete, then force the
+        // rest closed so the scope's joins cannot hang on idle clients.
+        let deadline = Instant::now() + Duration::from_millis(server.drain_ms());
+        while server.active_connections() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for (_, conn) in registry.lock().expect("connection registry poisoned").drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
         }
     });
     let _ = std::fs::remove_file(path);
@@ -219,5 +290,19 @@ mod tests {
         let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
         assert_eq!(lines.len(), 1, "no response after shutdown: {lines:?}");
         assert!(server.is_shutdown());
+    }
+
+    #[test]
+    fn a_draining_connection_answers_its_current_request_then_closes() {
+        let server = Server::new(ServeOptions::default());
+        // Another connection already acknowledged shutdown...
+        assert!(server.handle_line("{\"op\":\"shutdown\"}").shutdown);
+        // ...so this one answers exactly one more request, then closes.
+        let input = b"{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n".to_vec();
+        let mut out = Vec::new();
+        serve_connection(&server, &mut io::BufReader::new(&input[..]), &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines, vec!["{\"ok\":true,\"op\":\"pong\"}"]);
+        assert_eq!(server.active_connections(), 0, "the guard deregistered");
     }
 }

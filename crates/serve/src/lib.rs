@@ -15,6 +15,15 @@
 //! independent of cache state, client concurrency, and transport; the
 //! test suite and CI hold it to exactly that standard.
 //!
+//! The daemon is *crash-only*: engine panics are caught per request
+//! (`error.kind = "internal"`, the daemon keeps serving), `--deadline-ms`
+//! bounds each compile cooperatively, and `--cache-dir` backs the cache
+//! with a corruption-tolerant append log ([`store`]) that recovers from
+//! any torn/flipped/truncated suffix by dropping only the damaged
+//! entries. A seeded fault-injection layer ([`fault`]) and the
+//! `regpipe chaos` harness ([`chaos`]) prove the whole cycle —
+//! inject, crash, restart, recover — byte-for-byte.
+//!
 //! * [`Server::handle_line`] — the transport-free protocol core.
 //! * [`replay`] — the `regpipe replay` load-driver: deterministic request
 //!   streams from the generator/suite/a file, driven in-process or over
@@ -30,19 +39,29 @@
 
 pub mod bench;
 pub mod cache;
+#[cfg(unix)]
+pub mod chaos;
 pub mod daemon;
+pub mod fault;
 pub mod replay;
 mod server;
+pub mod store;
 
 pub use bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport, ServeTiming, TIMING_ENV};
 pub use cache::{CacheKey, ShardStats, ShardedCache};
 #[cfg(unix)]
-pub use daemon::serve_socket;
+pub use chaos::{run_chaos, write_responses, ChaosConfig, ChaosReport};
+#[cfg(unix)]
+pub use daemon::{claim_socket, serve_socket};
 pub use daemon::{read_request_line, serve_connection, serve_stdin, ReadLine};
+pub use fault::{FaultKind, FaultPlan, FAULT_ENV};
 pub use replay::{
     base_requests, replay_in_process, requests_from_loops, IdPolicy, ReplayConfig,
-    ReplayOutcome, ReplaySource,
+    ReplayOutcome, ReplaySource, RetryPolicy,
 };
 #[cfg(unix)]
 pub use replay::{replay_socket, request_once};
-pub use server::{attach_id, machine_key, Response, ServeOptions, Server};
+pub use server::{
+    attach_id, machine_key, ConnectionGuard, ErrorKind, Response, ServeOptions, Server,
+};
+pub use store::{RecoveredEntry, Store, StoreCounters};

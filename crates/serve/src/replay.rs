@@ -16,7 +16,7 @@ use std::num::NonZeroUsize;
 use std::os::unix::net::UnixStream;
 #[cfg(unix)]
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use regpipe_core::Strategy;
 use regpipe_ddg::textfmt;
@@ -124,6 +124,46 @@ pub fn base_requests(
     }
 }
 
+/// Client-side retry policy for socket replays (`--retry`,
+/// `--backoff-ms`). A failed request — connect error, write error, or a
+/// connection closed before its response — is retried on a *fresh*
+/// connection after an exponential backoff with deterministic, seeded
+/// jitter, so retry timing is reproducible run to run.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request; `1` means no retries.
+    pub attempts: u32,
+    /// Base backoff in milliseconds; doubles with each further attempt.
+    pub backoff_ms: u64,
+    /// Seed for the jitter draw.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 1, backoff_ms: 50, seed: 0 }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retrying request `request_index` after failed
+    /// `attempt` (1-based): `backoff_ms * 2^(attempt-1)` plus a seeded
+    /// jitter of up to half that, capped at a 64x base multiplier.
+    pub fn delay(&self, request_index: usize, attempt: u32) -> Duration {
+        let base = self.backoff_ms.saturating_mul(1 << attempt.clamp(1, 7).saturating_sub(1));
+        let jitter = if base == 0 {
+            0
+        } else {
+            crate::fault::splitmix(
+                self.seed
+                    ^ (request_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ u64::from(attempt),
+            ) % (base / 2 + 1)
+        };
+        Duration::from_millis(base + jitter)
+    }
+}
+
 /// Whether the driver splices stream-index ids into the base requests.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IdPolicy {
@@ -192,9 +232,15 @@ pub fn replay_in_process(
 /// line — so responses pair with requests positionally and pipe buffers
 /// cannot deadlock. The reassembled response stream is in request order.
 ///
+/// A request that fails (connect/write error, or the daemon closing the
+/// connection before answering) is retried per `retry` on a fresh
+/// connection; `RetryPolicy::default()` keeps the historical
+/// fail-immediately behaviour.
+///
 /// # Errors
 ///
-/// Propagates connection and I/O failures from any worker.
+/// Propagates the final connection/I-O failure of any request whose
+/// attempts are exhausted.
 #[cfg(unix)]
 pub fn replay_socket(
     path: &Path,
@@ -202,6 +248,7 @@ pub fn replay_socket(
     repeat: usize,
     jobs: NonZeroUsize,
     ids: IdPolicy,
+    retry: RetryPolicy,
 ) -> io::Result<ReplayOutcome> {
     let jobs = jobs.get();
     let total = base.len() * repeat;
@@ -214,27 +261,30 @@ pub fn replay_socket(
                 let handles: Vec<_> = (0..jobs)
                     .map(|w| {
                         scope.spawn(move || {
-                            let mut stream = UnixStream::connect(path)?;
-                            let mut reader = BufReader::new(stream.try_clone()?);
+                            let mut conn: Option<(UnixStream, BufReader<UnixStream>)> = None;
                             let mut out = Vec::new();
                             let mut index = w;
                             while index < base.len() {
                                 let line = request_line(base, ids, pass, index);
-                                let t0 = Instant::now();
-                                stream.write_all(line.as_bytes())?;
-                                stream.write_all(b"\n")?;
-                                let mut reply = String::new();
-                                if reader.read_line(&mut reply)? == 0 {
-                                    return Err(io::Error::new(
-                                        io::ErrorKind::UnexpectedEof,
-                                        "daemon closed the connection mid-replay",
-                                    ));
-                                }
-                                out.push((
-                                    pass * base.len() + index,
-                                    reply.trim_end_matches('\n').to_string(),
-                                    t0.elapsed().as_micros() as u64,
-                                ));
+                                let global = pass * base.len() + index;
+                                let mut attempt = 0u32;
+                                let (reply, us) = loop {
+                                    attempt += 1;
+                                    let result = send_one(path, &mut conn, &line);
+                                    match result {
+                                        Ok(ok) => break ok,
+                                        Err(e) => {
+                                            // The connection is suspect
+                                            // either way: rebuild it.
+                                            conn = None;
+                                            if attempt >= retry.attempts.max(1) {
+                                                return Err(e);
+                                            }
+                                            std::thread::sleep(retry.delay(global, attempt));
+                                        }
+                                    }
+                                };
+                                out.push((global, reply, us));
                                 index += jobs;
                             }
                             Ok(out)
@@ -255,6 +305,32 @@ pub fn replay_socket(
         latencies_us: latencies,
         wall_us: started.elapsed().as_micros() as u64,
     })
+}
+
+/// One send/receive round-trip, (re)connecting if `conn` is empty.
+#[cfg(unix)]
+fn send_one(
+    path: &Path,
+    conn: &mut Option<(UnixStream, BufReader<UnixStream>)>,
+    line: &str,
+) -> io::Result<(String, u64)> {
+    if conn.is_none() {
+        let stream = UnixStream::connect(path)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        *conn = Some((stream, reader));
+    }
+    let (stream, reader) = conn.as_mut().expect("connection just established");
+    let t0 = Instant::now();
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reply = String::new();
+    if reader.read_line(&mut reply)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection mid-replay",
+        ));
+    }
+    Ok((reply.trim_end_matches('\n').to_string(), t0.elapsed().as_micros() as u64))
 }
 
 /// Sends one request line over the socket and returns the response line
@@ -322,6 +398,25 @@ mod tests {
         assert_eq!(misses, base.len() as i64);
         assert_eq!(hits, base.len() as i64);
         assert_eq!(hits + misses, stats.get("compile_requests").unwrap().as_i64().unwrap());
+    }
+
+    #[test]
+    fn retry_delays_are_deterministic_and_grow() {
+        let p = RetryPolicy { attempts: 4, backoff_ms: 10, seed: 7 };
+        assert_eq!(p.delay(3, 1), p.delay(3, 1), "same draw, same delay");
+        assert_ne!(
+            RetryPolicy { seed: 8, ..p }.delay(3, 1),
+            p.delay(3, 1),
+            "the jitter is seeded"
+        );
+        for attempt in 1..=3u32 {
+            let base = 10u64 << (attempt - 1);
+            let d = p.delay(0, attempt).as_millis() as u64;
+            assert!(d >= base && d <= base + base / 2, "attempt {attempt}: {d}ms");
+        }
+        // Degenerate configurations stay sane.
+        assert_eq!(RetryPolicy { backoff_ms: 0, ..p }.delay(0, 1), std::time::Duration::ZERO);
+        let _ = p.delay(usize::MAX, u32::MAX);
     }
 
     #[test]

@@ -1,16 +1,31 @@
 //! The request/response core of the daemon: one JSON line in, one JSON
-//! line out, cache-first.
+//! line out, cache-first, crash-only.
+//!
+//! Every failure a request can provoke is turned into a structured
+//! `{"ok":false,"error":{"kind":...,"message":...}}` response on the
+//! same connection: malformed lines ([`ErrorKind::Protocol`]), oversized
+//! lines ([`ErrorKind::Oversized`]), bad compile parameters
+//! ([`ErrorKind::Invalid`]), blown deadlines ([`ErrorKind::Deadline`]),
+//! and engine panics ([`ErrorKind::Internal`] — caught per-request, the
+//! daemon keeps serving). With `cache_dir` set, the in-memory LRU is
+//! backed by the corruption-tolerant [`crate::store`] append log.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::Duration;
 
 use regpipe_core::{compile, CompileOptions, Strategy};
 use regpipe_ddg::{content_hash, textfmt, Ddg, OpKind};
 use regpipe_exec::json::{parse as parse_json, Value};
 use regpipe_exec::{parse_strategy, strategy_slug};
 use regpipe_machine::{FuClass, MachineConfig};
-use regpipe_sched::SchedulerKind;
+use regpipe_sched::{deadline, SchedulerKind};
 
 use crate::cache::{CacheKey, ShardedCache};
+use crate::fault;
+use crate::store::Store;
 
 /// Configuration of a [`Server`].
 #[derive(Clone, Debug)]
@@ -27,6 +42,20 @@ pub struct ServeOptions {
     /// Hard bound on one request line; longer lines are answered with a
     /// structured error and never buffered whole.
     pub max_request_bytes: usize,
+    /// Directory for the persistent cache store (`--cache-dir`). `None`
+    /// keeps the cache memory-only; `Some` makes every insert durable
+    /// and rewarms the cache from disk at startup. Requires `cache`.
+    pub cache_dir: Option<PathBuf>,
+    /// Cooperative per-compile deadline in milliseconds
+    /// (`--deadline-ms`). A compile that exceeds it is cancelled at the
+    /// next scheduler check-point and answered with a `deadline` error.
+    pub deadline_ms: Option<u64>,
+    /// Appends to the active log segment before a compaction snapshot is
+    /// written (`--compact-appends`).
+    pub compact_appends: u64,
+    /// How long `shutdown` waits for other in-flight connections to
+    /// finish before closing them forcibly (`--drain-ms`).
+    pub drain_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -36,6 +65,44 @@ impl Default for ServeOptions {
             capacity_bytes: 64 << 20,
             shards: 8,
             max_request_bytes: 1 << 20,
+            cache_dir: None,
+            deadline_ms: None,
+            compact_appends: 8192,
+            drain_ms: 2000,
+        }
+    }
+}
+
+/// The failure taxonomy carried in every `{"ok":false}` response's
+/// `error.kind` field. Clients branch on the kind; the `message` is for
+/// humans and makes no stability promise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorKind {
+    /// The line was not a usable request: invalid JSON, missing or
+    /// non-string `op`, unknown `op`.
+    Protocol,
+    /// The line exceeded the configured request byte bound.
+    Oversized,
+    /// A well-formed `compile` request with bad parameters (unparsable
+    /// ddg, unknown machine/scheduler/strategy, bad budget).
+    Invalid,
+    /// The compile exceeded the configured `--deadline-ms` budget and
+    /// was cancelled cooperatively.
+    Deadline,
+    /// The compile panicked; the panic was caught and the daemon keeps
+    /// serving. Never expected — always worth a bug report.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire spelling of the kind.
+    pub fn slug(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::Invalid => "invalid",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Internal => "internal",
         }
     }
 }
@@ -56,28 +123,119 @@ impl Response {
     }
 }
 
-/// The compile daemon's state: options, the sharded result cache, and
-/// request counters. All methods take `&self`; one `Server` is shared by
-/// every connection thread.
+/// The compile daemon's state: options, the sharded result cache, the
+/// optional persistent store, and request counters. All methods take
+/// `&self`; one `Server` is shared by every connection thread.
 pub struct Server {
     options: ServeOptions,
     cache: ShardedCache,
+    store: Option<Mutex<Store>>,
     compile_requests: AtomicU64,
     protocol_errors: AtomicU64,
+    panics_caught: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    active_connections: AtomicU64,
     shutdown: AtomicBool,
+}
+
+/// RAII registration of one live connection (see
+/// [`Server::track_connection`]); dropping it deregisters.
+pub struct ConnectionGuard<'a> {
+    server: &'a Server,
+}
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.server.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Silences the panic-hook report for cooperative deadline unwinds (they
+/// are control flow, not failures) while delegating every real panic to
+/// the previous hook. Installed once per process, only when a deadline
+/// is actually configured.
+fn install_deadline_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !deadline::is_deadline_panic(info.payload()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Best-effort human text from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "(non-string panic payload)"
+    }
 }
 
 impl Server {
     /// A fresh server with the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` name a persistent `cache_dir` that cannot be
+    /// opened — use [`Server::open`] to handle that case; memory-only
+    /// construction cannot fail.
     pub fn new(options: ServeOptions) -> Server {
+        Server::open(options).expect("memory-only server construction cannot fail")
+    }
+
+    /// Opens a server, recovering the persistent cache when `cache_dir`
+    /// is set. Corrupt store *content* never fails this — damage is
+    /// dropped, counted, and (when anything was dropped) immediately
+    /// scrubbed from disk by a compaction.
+    ///
+    /// # Errors
+    ///
+    /// `cache_dir` together with `cache: false`, or an environmental
+    /// store failure (directory not creatable/writable).
+    pub fn open(options: ServeOptions) -> Result<Server, String> {
+        if options.cache_dir.is_some() && !options.cache {
+            return Err("a persistent cache dir requires the cache (drop --no-cache)".into());
+        }
         let cache = ShardedCache::new(options.shards.max(1), options.capacity_bytes);
-        Server {
+        let store = match &options.cache_dir {
+            None => None,
+            Some(dir) => {
+                let (mut store, recovered) = Store::open(dir)
+                    .map_err(|e| format!("cache dir {}: {e}", dir.display()))?;
+                // Replay order = append order, so recency survives restarts.
+                for entry in recovered {
+                    cache.insert(entry.key, entry.payload);
+                }
+                if store.counters().dropped_corrupt_entries > 0 {
+                    // Self-healing: rewrite the surviving entries so the
+                    // damaged bytes never have to be skipped again.
+                    store.compact(&cache.dump()).map_err(|e| {
+                        format!("cache dir {}: compaction failed: {e}", dir.display())
+                    })?;
+                }
+                Some(Mutex::new(store))
+            }
+        };
+        if options.deadline_ms.is_some() {
+            install_deadline_panic_hook();
+        }
+        Ok(Server {
             options,
             cache,
+            store,
             compile_requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-        }
+        })
     }
 
     /// The configured per-request byte bound.
@@ -85,9 +243,26 @@ impl Server {
         self.options.max_request_bytes
     }
 
+    /// The configured drain budget for `shutdown`.
+    pub fn drain_ms(&self) -> u64 {
+        self.options.drain_ms
+    }
+
     /// Whether a `shutdown` request has been acknowledged.
     pub fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Registers a live connection for the drain accounting; the guard
+    /// deregisters on drop.
+    pub fn track_connection(&self) -> ConnectionGuard<'_> {
+        self.active_connections.fetch_add(1, Ordering::SeqCst);
+        ConnectionGuard { server: self }
+    }
+
+    /// Connections currently registered via [`Server::track_connection`].
+    pub fn active_connections(&self) -> u64 {
+        self.active_connections.load(Ordering::SeqCst)
     }
 
     /// Summed cache counters (the `totals` object of a `stats` response).
@@ -104,18 +279,22 @@ impl Server {
         let doc = match parse_json(line) {
             Ok(doc) => doc,
             Err(e) => {
-                return Response::reply(
-                    self.error_response(None, &format!("invalid JSON: {e}")),
-                )
+                return Response::reply(self.error_response(
+                    None,
+                    ErrorKind::Protocol,
+                    &format!("invalid JSON: {e}"),
+                ))
             }
         };
         let id = doc.get("id").and_then(Value::as_i64);
         let op = match doc.get("op").and_then(Value::as_str) {
             Some(op) => op,
             None => {
-                return Response::reply(
-                    self.error_response(id, "missing or non-string 'op' field"),
-                )
+                return Response::reply(self.error_response(
+                    id,
+                    ErrorKind::Protocol,
+                    "missing or non-string 'op' field",
+                ))
             }
         };
         match op {
@@ -124,13 +303,23 @@ impl Server {
             "ping" => Response::reply(attach_id(id, "{\"ok\":true,\"op\":\"pong\"}")),
             "shutdown" => {
                 self.shutdown.store(true, Ordering::SeqCst);
+                self.sync_store();
+                // The requesting connection is not "drained" — it gets
+                // this very response; everyone else is.
+                let drained = self.active_connections().saturating_sub(1);
                 Response {
-                    line: attach_id(id, "{\"ok\":true,\"op\":\"shutdown\"}"),
+                    line: attach_id(
+                        id,
+                        &format!(
+                            "{{\"ok\":true,\"op\":\"shutdown\",\"drained_connections\":{drained}}}"
+                        ),
+                    ),
                     shutdown: true,
                 }
             }
             other => Response::reply(self.error_response(
                 id,
+                ErrorKind::Protocol,
                 &format!("unknown op '{other}' (compile|stats|ping|shutdown)"),
             )),
         }
@@ -142,6 +331,7 @@ impl Server {
     pub fn oversized_response(&self, got: usize) -> String {
         self.error_response(
             None,
+            ErrorKind::Oversized,
             &format!(
                 "request of {got} bytes exceeds the {}-byte limit",
                 self.options.max_request_bytes
@@ -149,47 +339,124 @@ impl Server {
         )
     }
 
-    fn error_response(&self, id: Option<i64>, message: &str) -> String {
+    fn error_response(&self, id: Option<i64>, kind: ErrorKind, message: &str) -> String {
+        // Historical name; counts every structured error response.
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
         let mut pairs = Vec::new();
         if let Some(id) = id {
             pairs.push(("id".to_string(), Value::Int(id)));
         }
         pairs.push(("ok".to_string(), Value::Bool(false)));
-        pairs.push(("error".to_string(), Value::Str(message.to_string())));
+        pairs.push((
+            "error".to_string(),
+            Value::Object(vec![
+                ("kind".to_string(), Value::Str(kind.slug().to_string())),
+                ("message".to_string(), Value::Str(message.to_string())),
+            ]),
+        ));
         Value::Object(pairs).render()
     }
 
     fn handle_compile(&self, id: Option<i64>, doc: &Value) -> String {
         let params = match CompileParams::from_request(doc) {
             Ok(p) => p,
-            Err(e) => return self.error_response(id, &e),
+            Err(e) => return self.error_response(id, ErrorKind::Invalid, &e),
         };
         self.compile_requests.fetch_add(1, Ordering::Relaxed);
-        let payload = if self.options.cache {
-            let key = params.cache_key();
-            match self.cache.get(&key) {
-                Some(hit) => hit,
-                None => {
-                    // Compile OUTSIDE any shard lock; a concurrent miss on
-                    // the same key computes the identical payload.
-                    let computed = params.compute_payload();
-                    self.cache.insert(key, computed.clone());
-                    computed
-                }
+        // The fault layer counts *requests* (not misses), so an injected
+        // panic fires at the same request index whether the cache is cold
+        // or rewarmed — chaos cycles stay deterministic across restarts.
+        let inject_panic = fault::global().is_some_and(|f| f.on_compile());
+        let deadline_budget = self.options.deadline_ms.map(Duration::from_millis);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected fault: compile panic");
             }
-        } else {
-            params.compute_payload()
-        };
-        attach_id(id, &payload)
+            let _guard = deadline_budget.map(deadline::arm);
+            self.cached_payload(&params)
+        }));
+        match result {
+            Ok(payload) => attach_id(id, &payload),
+            Err(panic) if deadline::is_deadline_panic(panic.as_ref()) => {
+                // Cancelled cooperatively; nothing was cached, so a retry
+                // with a larger budget starts clean.
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                self.error_response(
+                    id,
+                    ErrorKind::Deadline,
+                    &format!(
+                        "compile exceeded the {} ms deadline",
+                        self.options.deadline_ms.unwrap_or(0)
+                    ),
+                )
+            }
+            Err(panic) => {
+                // Panic isolation: the unwind is contained to this
+                // request; the daemon keeps serving.
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                self.error_response(
+                    id,
+                    ErrorKind::Internal,
+                    &format!("compile panicked: {}", panic_message(panic.as_ref())),
+                )
+            }
+        }
     }
 
-    /// The `stats` response payload: per-shard and total cache counters
-    /// plus request counts. When the cache is enabled,
+    /// Cache-first payload lookup; misses compile outside any shard lock
+    /// (a concurrent miss on the same key computes the identical payload)
+    /// and are written through to the persistent store when one is open.
+    fn cached_payload(&self, params: &CompileParams) -> String {
+        if !self.options.cache {
+            return params.compute_payload();
+        }
+        let key = params.cache_key();
+        if let Some(hit) = self.cache.get(&key) {
+            return hit;
+        }
+        let computed = params.compute_payload();
+        self.cache.insert(key.clone(), computed.clone());
+        self.persist(&key, &computed);
+        computed
+    }
+
+    /// Writes one computed entry through to the store and compacts when
+    /// the active segment has absorbed enough appends. Store I/O errors
+    /// never fail the request — the entry stays served from memory.
+    fn persist(&self, key: &CacheKey, payload: &str) {
+        let Some(store) = &self.store else { return };
+        let mut store = store.lock().expect("store poisoned");
+        if let Err(e) = store.append(key, payload) {
+            eprintln!("regpipe serve: cache store append failed: {e}");
+            return;
+        }
+        if store.active_appends() >= self.options.compact_appends {
+            let live = self.cache.dump();
+            if let Err(e) = store.compact(&live) {
+                eprintln!("regpipe serve: cache store compaction failed: {e}");
+            }
+        }
+    }
+
+    /// Fsyncs the persistent log (shutdown durability); no-op without a
+    /// store.
+    fn sync_store(&self) {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.lock().expect("store poisoned").sync() {
+                eprintln!("regpipe serve: cache store fsync failed: {e}");
+            }
+        }
+    }
+
+    /// The `stats` response payload: per-shard and total cache counters,
+    /// request counts, robustness counters, and (when persistent) the
+    /// store's durability counters. When the cache is enabled,
     /// `hits + misses == compile_requests` holds at any quiescent point.
     pub fn stats_payload(&self) -> String {
         let shards = self.cache.shard_stats();
         let totals = self.cache.totals();
+        let store_counters =
+            self.store.as_ref().map(|s| s.lock().expect("store poisoned").counters());
         let shard_values = shards
             .iter()
             .map(|s| {
@@ -218,6 +485,29 @@ impl Server {
             (
                 "protocol_errors".to_string(),
                 Value::uint(self.protocol_errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "panics_caught".to_string(),
+                Value::uint(self.panics_caught.load(Ordering::Relaxed)),
+            ),
+            (
+                "deadline_exceeded".to_string(),
+                Value::uint(self.deadline_exceeded.load(Ordering::Relaxed)),
+            ),
+            ("persistent".to_string(), Value::Bool(store_counters.is_some())),
+            (
+                "store".to_string(),
+                match store_counters {
+                    None => Value::Null,
+                    Some(c) => Value::Object(vec![
+                        ("recovered_entries".to_string(), Value::uint(c.recovered_entries)),
+                        (
+                            "dropped_corrupt_entries".to_string(),
+                            Value::uint(c.dropped_corrupt_entries),
+                        ),
+                        ("log_compactions".to_string(), Value::uint(c.log_compactions)),
+                    ]),
+                },
             ),
             (
                 "totals".to_string(),
@@ -417,27 +707,36 @@ mod tests {
     #[test]
     fn malformed_lines_get_structured_errors() {
         let server = Server::new(ServeOptions::default());
-        for (line, want) in [
-            ("not json", "invalid JSON"),
-            ("{\"id\":3}", "missing or non-string 'op'"),
-            ("{\"op\":\"warp\"}", "unknown op"),
-            ("{\"op\":\"compile\"}", "missing string 'ddg'"),
-            ("{\"op\":\"compile\",\"ddg\":\"op x zap\"}", "bad ddg"),
-            ("{\"op\":\"compile\",\"ddg\":\"loop l\\nop x add\\n\",\"budget\":0}", "budget"),
+        for (line, kind, want) in [
+            ("not json", "protocol", "invalid JSON"),
+            ("{\"id\":3}", "protocol", "missing or non-string 'op'"),
+            ("{\"op\":\"warp\"}", "protocol", "unknown op"),
+            ("{\"op\":\"compile\"}", "invalid", "missing string 'ddg'"),
+            ("{\"op\":\"compile\",\"ddg\":\"op x zap\"}", "invalid", "bad ddg"),
+            (
+                "{\"op\":\"compile\",\"ddg\":\"loop l\\nop x add\\n\",\"budget\":0}",
+                "invalid",
+                "budget",
+            ),
             (
                 "{\"op\":\"compile\",\"ddg\":\"loop l\\nop x add\\n\",\"machine\":\"m9\"}",
+                "invalid",
                 "unknown machine",
             ),
             (
                 "{\"op\":\"compile\",\"ddg\":\"loop l\\nop x add\\n\",\"scheduler\":\"x\"}",
+                "invalid",
                 "scheduler",
             ),
         ] {
             let r = server.handle_line(line);
             assert!(!r.shutdown);
             assert!(r.line.contains("\"ok\":false"), "{line} -> {}", r.line);
-            assert!(r.line.contains(want), "{line} -> {}", r.line);
-            parse_json(&r.line).expect("error responses are valid JSON");
+            let doc = parse_json(&r.line).expect("error responses are valid JSON");
+            let error = doc.get("error").expect("error object");
+            assert_eq!(error.get("kind").unwrap().as_str(), Some(kind), "{line} -> {}", r.line);
+            let message = error.get("message").unwrap().as_str().unwrap();
+            assert!(message.contains(want), "{line} -> {message}");
         }
         let stats = parse_json(&server.stats_payload()).unwrap();
         assert_eq!(stats.get("protocol_errors").unwrap().as_i64(), Some(8));
@@ -472,9 +771,97 @@ mod tests {
         let r = server.handle_line("{\"id\":9,\"op\":\"shutdown\"}");
         assert!(r.shutdown);
         assert!(server.is_shutdown());
-        assert_eq!(r.line, "{\"id\":9,\"ok\":true,\"op\":\"shutdown\"}");
+        assert_eq!(
+            r.line,
+            "{\"id\":9,\"ok\":true,\"op\":\"shutdown\",\"drained_connections\":0}"
+        );
         let stats = server.handle_line("{\"op\":\"stats\"}");
         parse_json(&stats.line).expect("stats is valid JSON");
+    }
+
+    #[test]
+    fn connection_tracking_feeds_the_drain_count() {
+        let server = Server::new(ServeOptions::default());
+        let _a = server.track_connection();
+        let _b = server.track_connection();
+        {
+            let _c = server.track_connection();
+            assert_eq!(server.active_connections(), 3);
+        }
+        assert_eq!(server.active_connections(), 2);
+        // Two live connections; the one issuing shutdown is not drained.
+        let r = server.handle_line("{\"op\":\"shutdown\"}");
+        assert!(r.line.contains("\"drained_connections\":1"), "{}", r.line);
+    }
+
+    #[test]
+    fn a_blown_deadline_is_a_structured_error_and_serving_continues() {
+        let server =
+            Server::new(ServeOptions { deadline_ms: Some(0), ..ServeOptions::default() });
+        let r = server.handle_line(&request(LOOP, 32));
+        let doc = parse_json(&r.line).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false), "{}", r.line);
+        let error = doc.get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("deadline"), "{}", r.line);
+        assert!(error.get("message").unwrap().as_str().unwrap().contains("0 ms"));
+        // The daemon is still alive and the failed compile was not cached.
+        let stats = parse_json(&server.stats_payload()).unwrap();
+        assert_eq!(stats.get("deadline_exceeded").unwrap().as_i64(), Some(1));
+        assert_eq!(stats.get("totals").unwrap().get("entries").unwrap().as_i64(), Some(0));
+        assert_eq!(
+            server.handle_line("{\"op\":\"ping\"}").line,
+            "{\"ok\":true,\"op\":\"pong\"}"
+        );
+    }
+
+    #[test]
+    fn a_generous_deadline_does_not_fire() {
+        let server =
+            Server::new(ServeOptions { deadline_ms: Some(60_000), ..ServeOptions::default() });
+        let plain = Server::new(ServeOptions::default());
+        let a = server.handle_line(&request(LOOP, 32));
+        let b = plain.handle_line(&request(LOOP, 32));
+        assert_eq!(a.line, b.line, "deadline plumbing must not change results");
+        let stats = parse_json(&server.stats_payload()).unwrap();
+        assert_eq!(stats.get("deadline_exceeded").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn persistent_cache_survives_a_restart_byte_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("regpipe-server-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = ServeOptions { cache_dir: Some(dir.clone()), ..ServeOptions::default() };
+        let cold = {
+            let server = Server::open(options.clone()).unwrap();
+            let r = server.handle_line(&request(LOOP, 32));
+            let stats = parse_json(&server.stats_payload()).unwrap();
+            assert_eq!(stats.get("persistent").unwrap().as_bool(), Some(true));
+            r.line
+        };
+        let server = Server::open(options).unwrap();
+        let stats = parse_json(&server.stats_payload()).unwrap();
+        let store = stats.get("store").unwrap();
+        assert_eq!(store.get("recovered_entries").unwrap().as_i64(), Some(1));
+        assert_eq!(store.get("dropped_corrupt_entries").unwrap().as_i64(), Some(0));
+        let warm = server.handle_line(&request(LOOP, 32));
+        assert_eq!(warm.line, cold, "a recovered hit is byte-identical to the cold miss");
+        let totals = parse_json(&server.stats_payload()).unwrap();
+        assert_eq!(totals.get("totals").unwrap().get("hits").unwrap().as_i64(), Some(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_dir_without_cache_is_rejected() {
+        let err = match Server::open(ServeOptions {
+            cache: false,
+            cache_dir: Some(std::env::temp_dir().join("regpipe-unused")),
+            ..ServeOptions::default()
+        }) {
+            Ok(_) => panic!("--cache-dir with --no-cache must be rejected"),
+            Err(err) => err,
+        };
+        assert!(err.contains("requires the cache"), "{err}");
     }
 
     #[test]

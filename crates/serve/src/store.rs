@@ -1,0 +1,550 @@
+//! The persistent, corruption-tolerant backing store for the serve cache.
+//!
+//! `--cache-dir` turns the in-memory LRU into a crash-only cache: every
+//! insert is appended to an on-disk log, and a restart replays the log to
+//! rewarm the cache. The design goals, in order:
+//!
+//! 1. **Never refuse to start.** Any prefix of any write sequence — a torn
+//!    append, a truncated file, flipped bits, a deleted segment — recovers
+//!    to *some* valid cache. Damage costs entries, never availability.
+//! 2. **Never serve a corrupt payload.** Every frame carries a CRC-32 of
+//!    its payload; a frame that fails the check is dropped before it can
+//!    reach the cache. Recovered hits are byte-identical to cold misses by
+//!    construction, because stored values are the same rendered id-free
+//!    payloads the in-memory cache holds.
+//! 3. **Bounded disk.** A compacting snapshot rewrites the live LRU
+//!    contents into one fresh segment and deletes the older ones.
+//!
+//! ## On-disk format
+//!
+//! A cache directory holds numbered segment files:
+//!
+//! ```text
+//! store   = segment* ;                    (* files seg-%08d.log *)
+//! segment = magic frame* ;
+//! magic   = "regpipe-store-v1\n" ;        (* 17 bytes *)
+//! frame   = len crc payload ;             (* len, crc: u32 little-endian *)
+//! crc     = CRC-32 (IEEE) of payload ;
+//! payload = key-text "\n" value ;
+//! key-text = ddg-hash "|" machine "|" scheduler "|" strategy "|" budget ;
+//! ```
+//!
+//! `key-text` is exactly the text [`crate::CacheKey::stable_hash`] hashes
+//! (`%016x` ddg hash; the canonical machine identity contains no `|` or
+//! newline), and `value` is the rendered id-free response payload (one
+//! JSON object, no interior newlines).
+//!
+//! ## Recovery policy
+//!
+//! Segments replay in index order, frames in file order; later frames for
+//! a key win. Each kind of damage is contained to the smallest reasonable
+//! unit:
+//!
+//! - **CRC mismatch** (bit flip): drop that frame, keep reading — the
+//!   length field still bounds the frame, so one flipped bit costs one
+//!   entry.
+//! - **Structurally impossible frame** (length past end-of-file or over
+//!   the frame bound — a torn append or truncation): drop the rest of the
+//!   segment; everything before it is kept.
+//! - **Bad magic** (wrong file, version skew, header damage): drop the
+//!   whole segment.
+//!
+//! Every drop increments `dropped_corrupt_entries`; every replayed entry
+//! increments `recovered_entries`. Opening always starts a *fresh* active
+//! segment, so new appends never land after a damaged suffix.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::cache::CacheKey;
+use crate::fault::{self, AppendFault};
+
+/// Magic header opening every segment file.
+pub const MAGIC: &[u8] = b"regpipe-store-v1\n";
+
+/// Upper bound on one frame's payload; anything larger is structural
+/// corruption (responses are bounded far below this).
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// One entry replayed from disk during recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveredEntry {
+    /// The content address, parsed back from the frame's key text.
+    pub key: CacheKey,
+    /// The rendered id-free response payload, CRC-verified.
+    pub payload: String,
+}
+
+/// Durability counters, reported under `store` in `stats` responses.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Entries replayed from disk at open.
+    pub recovered_entries: u64,
+    /// Damaged frames/suffixes/segments dropped at open (one per unit).
+    pub dropped_corrupt_entries: u64,
+    /// Compaction snapshots written since open.
+    pub log_compactions: u64,
+}
+
+/// The append-log store: one active segment receiving appends, plus the
+/// recovery and compaction machinery around it.
+pub struct Store {
+    dir: PathBuf,
+    active: File,
+    active_index: u64,
+    active_appends: u64,
+    counters: StoreCounters,
+}
+
+/// Renders the key text that [`CacheKey::stable_hash`] hashes.
+fn key_text(key: &CacheKey) -> String {
+    format!(
+        "{:016x}|{}|{}|{}|{}",
+        key.ddg_hash, key.machine, key.scheduler, key.strategy, key.budget
+    )
+}
+
+/// Parses a frame's key text back into a [`CacheKey`].
+fn parse_key_text(text: &str) -> Option<CacheKey> {
+    let mut parts = text.splitn(5, '|');
+    let ddg_hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let machine = parts.next()?.to_string();
+    let scheduler = parts.next()?.to_string();
+    let strategy = parts.next()?.to_string();
+    let budget = parts.next()?.parse().ok()?;
+    Some(CacheKey { ddg_hash, machine, scheduler, strategy, budget })
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg-{index:08}.log"))
+}
+
+/// Parses `seg-%08d.log` back to its index; `None` for foreign files.
+fn segment_index(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if digits.len() != 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Encodes one `[len][crc][payload]` frame.
+fn encode_frame(key: &CacheKey, payload: &str) -> Vec<u8> {
+    let mut body = key_text(key).into_bytes();
+    body.push(b'\n');
+    body.extend_from_slice(payload.as_bytes());
+    let mut frame = Vec::with_capacity(8 + body.len());
+    frame
+        .extend_from_slice(&u32::try_from(body.len()).expect("payload fits u32").to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Replays one segment's bytes, appending recovered entries and counting
+/// drops. Returns without error no matter what the bytes contain.
+fn recover_segment(bytes: &[u8], out: &mut Vec<RecoveredEntry>, counters: &mut StoreCounters) {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        counters.dropped_corrupt_entries += 1;
+        return;
+    }
+    let mut pos = MAGIC.len();
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < 8 {
+            // A torn frame header: drop the suffix.
+            counters.dropped_corrupt_entries += 1;
+            return;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_BYTES || (len as usize) > remaining - 8 {
+            // Structurally impossible: a torn append or truncation. Drop
+            // the suffix — nothing after it can be trusted to align.
+            counters.dropped_corrupt_entries += 1;
+            return;
+        }
+        let body = &bytes[pos + 8..pos + 8 + len as usize];
+        pos += 8 + len as usize;
+        if crc32(body) != crc {
+            // One damaged frame; the length still bounds it, so skip
+            // exactly this entry and keep reading.
+            counters.dropped_corrupt_entries += 1;
+            continue;
+        }
+        let parsed = std::str::from_utf8(body).ok().and_then(|text| {
+            let (key_text, payload) = text.split_once('\n')?;
+            Some(RecoveredEntry {
+                key: parse_key_text(key_text)?,
+                payload: payload.to_string(),
+            })
+        });
+        match parsed {
+            Some(entry) => {
+                counters.recovered_entries += 1;
+                out.push(entry);
+            }
+            None => counters.dropped_corrupt_entries += 1,
+        }
+    }
+}
+
+/// Best-effort directory fsync (segment creates/deletes are metadata).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+impl Store {
+    /// Opens (creating if needed) the store in `dir`, replaying every
+    /// segment. The returned entries are in replay order — insert them
+    /// into the cache in order, so later frames win and recency matches
+    /// append order. A fresh active segment is always started.
+    ///
+    /// # Errors
+    ///
+    /// Only on environmental failures (directory not creatable, new
+    /// segment not writable). Corrupt *content* never errors — it is
+    /// dropped and counted instead.
+    pub fn open(dir: &Path) -> io::Result<(Store, Vec<RecoveredEntry>)> {
+        fs::create_dir_all(dir)?;
+        let mut indices: Vec<u64> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| segment_index(e.file_name().to_str()?))
+            .collect();
+        indices.sort_unstable();
+
+        let mut counters = StoreCounters::default();
+        let mut entries = Vec::new();
+        for &index in &indices {
+            match fs::read(segment_path(dir, index)) {
+                Ok(bytes) => recover_segment(&bytes, &mut entries, &mut counters),
+                Err(_) => counters.dropped_corrupt_entries += 1,
+            }
+        }
+
+        let active_index = indices.last().map_or(0, |last| last + 1);
+        let mut active = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(segment_path(dir, active_index))?;
+        active.write_all(MAGIC)?;
+        active.sync_data()?;
+        sync_dir(dir);
+
+        let store =
+            Store { dir: dir.to_path_buf(), active, active_index, active_appends: 0, counters };
+        Ok((store, entries))
+    }
+
+    /// Appends one entry to the active segment and fsyncs it. This is the
+    /// fault-injection point: an armed [`crate::fault`] plan may tear,
+    /// flip, shorten or crash this write (see the module docs there).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync failures; the entry stays cached in memory
+    /// either way.
+    pub fn append(&mut self, key: &CacheKey, payload: &str) -> io::Result<()> {
+        let mut frame = encode_frame(key, payload);
+        self.active_appends += 1;
+        if let Some(injected) = fault::global().and_then(|f| f.on_append()) {
+            match injected {
+                AppendFault::Short(r) => {
+                    // A short write the store *sees*: repair by truncating
+                    // the partial frame off the log. The entry is simply
+                    // not persisted; the log stays clean.
+                    let start = self.active.seek(SeekFrom::End(0))?;
+                    let cut = 1 + (r as usize % (frame.len() - 1));
+                    self.active.write_all(&frame[..cut])?;
+                    self.active.set_len(start)?;
+                    self.active.seek(SeekFrom::End(0))?;
+                    self.active.sync_data()?;
+                    return Ok(());
+                }
+                AppendFault::Torn(r) => {
+                    // A silent partial write: the torn frame stays on disk
+                    // for recovery to find.
+                    let cut = 1 + (r as usize % (frame.len() - 1));
+                    frame.truncate(cut);
+                }
+                AppendFault::Flip(r) => {
+                    // Flip inside the payload (past the 8-byte header),
+                    // so recovery loses exactly one entry, not a suffix.
+                    let bit = r as usize % ((frame.len() - 8) * 8);
+                    frame[8 + bit / 8] ^= 1 << (bit % 8);
+                }
+                AppendFault::Crash(r) => {
+                    // kill -9 mid-write: persist part of the frame, then
+                    // die without unwinding.
+                    let cut = 1 + (r as usize % (frame.len() - 1));
+                    let _ = self.active.write_all(&frame[..cut]);
+                    let _ = self.active.sync_data();
+                    std::process::abort();
+                }
+            }
+        }
+        self.active.write_all(&frame)?;
+        self.fsync_active()
+    }
+
+    /// Appends made to the active segment since open or last compaction
+    /// (the server's compaction trigger).
+    pub fn active_appends(&self) -> u64 {
+        self.active_appends
+    }
+
+    /// Writes a compaction snapshot: all `live` entries (oldest-first, so
+    /// replay rebuilds recency) into one fresh segment, then deletes every
+    /// older segment. Crash-ordering: the new segment is fsynced *before*
+    /// any delete, so a crash anywhere leaves at least one complete copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync failures from the new segment; deletion
+    /// failures of old segments are ignored (they are re-candidates for
+    /// the next compaction).
+    pub fn compact(&mut self, live: &[(CacheKey, String)]) -> io::Result<()> {
+        let new_index = self.active_index + 1;
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(segment_path(&self.dir, new_index))?;
+        file.write_all(MAGIC)?;
+        for (key, payload) in live {
+            file.write_all(&encode_frame(key, payload))?;
+        }
+        file.sync_data()?;
+        sync_dir(&self.dir);
+        for index in 0..new_index {
+            let _ = fs::remove_file(segment_path(&self.dir, index));
+        }
+        sync_dir(&self.dir);
+        self.active = file;
+        self.active_index = new_index;
+        self.active_appends = 0;
+        self.counters.log_compactions += 1;
+        Ok(())
+    }
+
+    /// Fsyncs the active segment (shutdown and post-append durability).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fsync failure.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.fsync_active()
+    }
+
+    fn fsync_active(&mut self) -> io::Result<()> {
+        if fault::global().is_some_and(|f| f.on_fsync()) {
+            return Ok(());
+        }
+        self.active.sync_data()
+    }
+
+    /// Durability counters since open.
+    pub fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("regpipe-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u32) -> CacheKey {
+        CacheKey {
+            ddg_hash: 0x1234_5678_9abc_def0 ^ u64::from(n),
+            machine: "uniform;u=2,2,2,2,;l=2,2,2,4,4,1,;p=1111".into(),
+            scheduler: "hrms".into(),
+            strategy: "best".into(),
+            budget: 16 + n,
+        }
+    }
+
+    fn payload(n: u32) -> String {
+        format!("{{\"ok\":true,\"loop\":\"l{n}\",\"ii\":{}}}", n + 2)
+    }
+
+    fn seed(dir: &Path, n: u32) {
+        let (mut store, recovered) = Store::open(dir).unwrap();
+        assert!(recovered.is_empty());
+        for i in 0..n {
+            store.append(&key(i), &payload(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_replays_everything() {
+        let dir = tmp("roundtrip");
+        seed(&dir, 3);
+        let (store, recovered) = Store::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 3);
+        for (i, entry) in recovered.iter().enumerate() {
+            let i = u32::try_from(i).unwrap();
+            assert_eq!(entry.key, key(i));
+            assert_eq!(entry.payload, payload(i));
+        }
+        let c = store.counters();
+        assert_eq!((c.recovered_entries, c.dropped_corrupt_entries), (3, 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_text_parses_back_exactly() {
+        let k = key(7);
+        assert_eq!(parse_key_text(&key_text(&k)), Some(k));
+        assert_eq!(parse_key_text("not a key"), None);
+        assert_eq!(parse_key_text("0123|m|s"), None);
+    }
+
+    #[test]
+    fn truncation_drops_only_the_suffix() {
+        let dir = tmp("trunc");
+        seed(&dir, 3);
+        // Tear the tail of the first (only) data segment.
+        let seg = segment_path(&dir, 0);
+        let len = fs::metadata(&seg).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&seg).unwrap();
+        file.set_len(len - 5).unwrap();
+        let (store, recovered) = Store::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 2, "the first two frames survive");
+        let c = store.counters();
+        assert_eq!((c.recovered_entries, c.dropped_corrupt_entries), (2, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_flipped_bit_costs_exactly_one_entry() {
+        let dir = tmp("flip");
+        seed(&dir, 3);
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        // Flip a bit inside the *second* frame's payload.
+        let first_len =
+            u32::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap())
+                as usize;
+        let second = MAGIC.len() + 8 + first_len;
+        bytes[second + 12] ^= 0x10;
+        fs::write(&seg, &bytes).unwrap();
+        let (store, recovered) = Store::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].key, key(0));
+        assert_eq!(recovered[1].key, key(2), "the frame after the damage survives");
+        let c = store.counters();
+        assert_eq!((c.recovered_entries, c.dropped_corrupt_entries), (2, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_and_bad_magic_drop_the_segment_not_the_store() {
+        let dir = tmp("garbage");
+        seed(&dir, 2);
+        fs::write(dir.join("seg-00000009.log"), b"not a segment at all").unwrap();
+        fs::write(dir.join("README.txt"), b"ignored: not a segment name").unwrap();
+        let (store, recovered) = Store::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 2);
+        let c = store.counters();
+        assert_eq!((c.recovered_entries, c.dropped_corrupt_entries), (2, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn impossible_length_drops_the_suffix() {
+        let dir = tmp("length");
+        seed(&dir, 2);
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        // Claim the first frame extends past end-of-file.
+        bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&seg, &bytes).unwrap();
+        let (store, recovered) = Store::open(&dir).unwrap();
+        assert!(recovered.is_empty());
+        assert_eq!(store.counters().dropped_corrupt_entries, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_collapses_segments_and_preserves_content() {
+        let dir = tmp("compact");
+        seed(&dir, 2); // segment 0
+        drop(Store::open(&dir).unwrap()); // segment 1 (header only)
+        let (mut store, recovered) = Store::open(&dir).unwrap(); // segment 2
+        assert_eq!(recovered.len(), 2);
+        let live: Vec<(CacheKey, String)> =
+            recovered.into_iter().map(|e| (e.key, e.payload)).collect();
+        store.compact(&live).unwrap();
+        assert_eq!(store.counters().log_compactions, 1);
+        let names: Vec<u64> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| segment_index(e.unwrap().file_name().to_str().unwrap()))
+            .collect();
+        assert_eq!(names, vec![3], "one snapshot segment remains");
+        let (_, again) = Store::open(&dir).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(again[0].payload, payload(0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn later_frames_win_for_a_duplicated_key() {
+        let dir = tmp("dup");
+        {
+            let (mut store, _) = Store::open(&dir).unwrap();
+            store.append(&key(1), "old").unwrap();
+            store.append(&key(1), "new").unwrap();
+        }
+        let (_, recovered) = Store::open(&dir).unwrap();
+        // Replay order is append order, so the newest frame is replayed
+        // last (in real operation payloads for one key are identical —
+        // compiles are deterministic — so which one wins is moot).
+        assert_eq!(recovered.last().unwrap().payload, "new");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 test vectors ("123456789" is the classic check).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

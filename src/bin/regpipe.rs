@@ -23,10 +23,10 @@ use regpipe::regalloc::allocate;
 use regpipe::sched::{mii, rec_mii, PipelinedLoop, SchedRequest, Scheduler, SchedulerKind};
 use regpipe::serve::{
     base_requests, replay_in_process, run_serve_bench, serve_stdin, IdPolicy, ReplayConfig,
-    ReplaySource, ServeBenchConfig, ServeOptions, Server,
+    ReplaySource, RetryPolicy, ServeBenchConfig, ServeOptions, Server,
 };
 #[cfg(unix)]
-use regpipe::serve::{replay_socket, request_once};
+use regpipe::serve::{replay_socket, request_once, run_chaos, write_responses, ChaosConfig};
 use regpipe::spill::SelectHeuristic;
 
 fn main() -> ExitCode {
@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         Some("gap") => cmd_gap(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         // Help goes to stdout and succeeds; `regpipe help <command>`
         // narrows to one subcommand.
@@ -174,6 +175,13 @@ regpipe serve [options]
   --cache-bytes <n>    total cache budget in bytes     (default 67108864)
   --shards <n>         cache shards                    (default 8)
   --max-request-bytes <n>  per-line request bound      (default 1048576)
+  --cache-dir <dir>    persist the cache to a CRC-framed append log;
+                       recovery after a crash drops only damaged entries
+  --compact-appends <n>  appends between log compactions (default 8192)
+  --deadline-ms <n>    per-compile cooperative deadline; blown deadlines
+                       answer with error.kind \"deadline\"
+  --drain-ms <n>       shutdown drain bound for in-flight connections
+                       (default 2000)
 ";
     let replay_ = "\
 regpipe replay [options]
@@ -195,8 +203,33 @@ regpipe replay [options]
   --scheduler hrms|sms|asap|exact                      (default hrms)
   --machine <m>     as for compile                     (default p2l4)
   --no-cache        (in-process mode) disable the daemon cache
+  --cache-dir <dir> (in-process mode) persist the daemon cache on disk
+  --retry <n>       attempts per request on connection failure (socket
+                    mode; reconnects between attempts)    (default 1)
+  --backoff-ms <n>  base retry backoff, doubled per attempt with
+                    seed-deterministic jitter              (default 50)
   --stats-out <f>   write the daemon's final stats JSON to a file
   --shutdown        send a shutdown request after the run (socket mode)
+";
+    let chaos_ = "\
+regpipe chaos [options]
+  The deterministic crash-recovery gate: spawn real daemons on a shared
+  --cache-dir, inject seeded faults (a compile panic, a flipped bit, a
+  torn append, a mid-write crash) across --cycles inject-crash-restart
+  cycles, and verify after every recovery that the full workload replays
+  byte-identically to a never-crashed baseline. Prints a summary JSON
+  (schema regpipe-chaos/v1) on success; any deviation fails the run.
+  --socket <path>   daemon socket     (default: a fresh temp path)
+  --cache-dir <dir> persistent cache  (default: a fresh temp dir)
+  --cycles <n>      inject-crash-restart cycles        (default 3)
+  --seed <s>        workload and fault-schedule seed   (default 7)
+  --count <k>       workload kernels (at least 4)      (default 12)
+  --jobs <n>        client connections (default: REGPIPE_JOBS, then all cores)
+  --budgets <list>  comma-separated register budgets   (default 32)
+  --strategy best|spill|increase-ii                    (default best)
+  --scheduler hrms|sms|asap|exact                      (default hrms)
+  --machine <m>     as for compile                     (default p2l4)
+  --out <file>      write the final clean replay's response lines
 ";
     let bench_serve_ = "\
 regpipe bench-serve [options]
@@ -227,11 +260,12 @@ regpipe bench-serve [options]
         Some("gap") => gap_.to_string(),
         Some("serve") => serve_.to_string(),
         Some("replay") => replay_.to_string(),
+        Some("chaos") => chaos_.to_string(),
         Some("bench-serve") => bench_serve_.to_string(),
         _ => format!(
-            "usage: regpipe <info|compile|suite|gen|check|bench|gap|serve|replay|bench-serve|help> ...\n\n\
+            "usage: regpipe <info|compile|suite|gen|check|bench|gap|serve|replay|chaos|bench-serve|help> ...\n\n\
              {info}\n{compile_}\n{suite_}\n{gen_}\n{check_}\n{bench_}\n{gap_}\n{serve_}\n{replay_}\n\
-             {bench_serve_}\n\
+             {chaos_}\n{bench_serve_}\n\
              The on-disk formats (.ddg loops, .mach machine descriptions, corpus\n\
              directory layout) are specified in docs/formats.md; the serve wire\n\
              protocol in docs/serve.md.\n"
@@ -790,18 +824,37 @@ fn serve_options(flags: &Flags<'_>) -> Result<ServeOptions, String> {
                 .ok_or_else(|| format!("{flag} must be a positive integer, got '{raw}'")),
         }
     };
+    let size64 = |flag: &str, default: u64| -> Result<u64, String> {
+        match flags.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{flag} must be a positive integer, got '{raw}'")),
+        }
+    };
     Ok(ServeOptions {
         cache: !flags.has("--no-cache"),
         capacity_bytes: size("--cache-bytes", defaults.capacity_bytes)?,
         shards: size("--shards", defaults.shards)?,
         max_request_bytes: size("--max-request-bytes", defaults.max_request_bytes)?,
+        cache_dir: flags.get("--cache-dir").map(std::path::PathBuf::from),
+        deadline_ms: match flags.get("--deadline-ms") {
+            None => None,
+            Some(_) => Some(size64("--deadline-ms", 0)?),
+        },
+        compact_appends: size64("--compact-appends", defaults.compact_appends)?,
+        drain_ms: size64("--drain-ms", defaults.drain_ms)?,
     })
 }
 
 /// `regpipe serve`: the persistent compile daemon.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
-    let server = Server::new(serve_options(&flags)?);
+    // A malformed fault plan is a configuration error, not "no faults".
+    regpipe::serve::fault::validate_env()?;
+    let server = Server::open(serve_options(&flags)?)?;
     match flags.get("--socket") {
         None => serve_stdin(&server).map_err(|e| format!("serve: {e}")),
         Some(path) => {
@@ -859,9 +912,21 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         return Err("replay: empty request stream".into());
     }
 
+    let retry = RetryPolicy {
+        attempts: match flags.get("--retry").unwrap_or("1").parse() {
+            Ok(n) if n > 0 => n,
+            _ => return Err("--retry must be a positive integer".into()),
+        },
+        backoff_ms: match flags.get("--backoff-ms").unwrap_or("50").parse() {
+            Ok(n) => n,
+            _ => return Err("--backoff-ms must be an integer".into()),
+        },
+        seed,
+    };
+
     let (outcome, stats) = match flags.get("--socket") {
         None => {
-            let server = Server::new(serve_options(&flags)?);
+            let server = Server::open(serve_options(&flags)?)?;
             let outcome = replay_in_process(&server, &base, repeat, jobs, ids);
             (outcome, server.stats_payload())
         }
@@ -869,7 +934,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             #[cfg(unix)]
             {
                 let path = std::path::Path::new(path);
-                let outcome = replay_socket(path, &base, repeat, jobs, ids)
+                let outcome = replay_socket(path, &base, repeat, jobs, ids, retry)
                     .map_err(|e| format!("replay: {e}"))?;
                 let stats = request_once(path, "{\"op\":\"stats\"}")
                     .map_err(|e| format!("replay: stats request failed: {e}"))?;
@@ -881,7 +946,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             }
             #[cfg(not(unix))]
             {
-                let _ = path;
+                let _ = (path, retry);
                 return Err("replay: --socket requires a unix platform".into());
             }
         }
@@ -906,6 +971,73 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         outcome.wall_us as f64 / 1e6
     );
     Ok(())
+}
+
+/// `regpipe chaos`: the deterministic crash-recovery gate.
+#[cfg(unix)]
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let seed: u64 = flags
+        .get("--seed")
+        .unwrap_or("7")
+        .parse()
+        .map_err(|_| "bad --seed value".to_string())?;
+    let cycles: u32 = match flags.get("--cycles").unwrap_or("3").parse() {
+        Ok(n) if n > 0 => n,
+        _ => return Err("--cycles must be a positive integer".into()),
+    };
+    let count: usize = match flags.get("--count").unwrap_or("12").parse() {
+        Ok(n) if n >= 4 => n,
+        _ => return Err("--count must be an integer >= 4".into()),
+    };
+    let pid = std::process::id();
+    let socket = flags.get("--socket").map_or_else(
+        || std::env::temp_dir().join(format!("regpipe-chaos-{pid}.sock")),
+        std::path::PathBuf::from,
+    );
+    let scratch_cache = !flags.has("--cache-dir");
+    let cache_dir = flags.get("--cache-dir").map_or_else(
+        || std::env::temp_dir().join(format!("regpipe-chaos-cache-{pid}")),
+        std::path::PathBuf::from,
+    );
+    let config = ChaosConfig {
+        exe: std::env::current_exe()
+            .map_err(|e| format!("chaos: cannot locate the regpipe binary: {e}"))?,
+        socket,
+        cache_dir,
+        cycles,
+        seed,
+        count,
+        jobs: resolve_jobs(flags.get("--jobs"))?,
+        replay: ReplayConfig {
+            budgets: flags
+                .get("--budgets")
+                .unwrap_or("32")
+                .split(',')
+                .map(|b| b.parse::<u32>().map_err(|_| format!("bad budget '{b}' in --budgets")))
+                .collect::<Result<Vec<_>, _>>()?,
+            strategy: parse_strategy(flags.get("--strategy").unwrap_or("best"))?,
+            scheduler: flags.scheduler()?,
+            machine_spec: Some(flags.get("--machine").unwrap_or("p2l4").to_string()),
+        },
+    };
+    let result = run_chaos(&config);
+    if scratch_cache {
+        let _ = fs::remove_dir_all(&config.cache_dir);
+    }
+    let report = result?;
+    if let Some(path) = flags.get("--out") {
+        write_responses(std::path::Path::new(path), &report.final_responses)?;
+    }
+    println!("{}", report.render_json());
+    Ok(())
+}
+
+/// `regpipe chaos` spawns daemons over unix sockets; nothing to gate
+/// elsewhere.
+#[cfg(not(unix))]
+fn cmd_chaos(_args: &[String]) -> Result<(), String> {
+    Err("chaos: requires a unix platform".into())
 }
 
 /// `regpipe bench-serve`: benchmark the daemon and write `BENCH_serve.json`.

@@ -69,10 +69,20 @@ fn malformed_requests_get_structured_errors_not_disconnects() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines.len(), 7, "one response per request:\n{stdout}");
-    for (i, line) in lines.iter().enumerate().take(6) {
+    // Each error carries the structured taxonomy object: requests broken
+    // at the protocol layer are "protocol", well-framed compiles with bad
+    // parameters are "invalid".
+    let kinds = ["protocol", "protocol", "protocol", "invalid", "invalid", "protocol"];
+    for (i, (line, want_kind)) in lines.iter().zip(kinds).enumerate() {
         let doc = parse_json(line).unwrap_or_else(|e| panic!("line {i} not JSON: {e}\n{line}"));
         assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(false), "line {i}: {line}");
-        assert!(doc.get("error").and_then(Value::as_str).is_some(), "line {i}: {line}");
+        let error = doc.get("error").unwrap_or_else(|| panic!("line {i}: {line}"));
+        assert_eq!(
+            error.get("kind").and_then(Value::as_str),
+            Some(want_kind),
+            "line {i}: {line}"
+        );
+        assert!(error.get("message").and_then(Value::as_str).is_some(), "line {i}: {line}");
     }
     // Requests that parsed far enough to carry an id get it echoed back.
     assert!(lines[2].starts_with("{\"id\":2,"), "{}", lines[2]);
@@ -93,8 +103,10 @@ fn oversized_requests_are_bounded_and_do_not_break_framing() {
     assert_eq!(lines.len(), 2, "{stdout}");
     let err = parse_json(lines[0]).expect("error line is JSON");
     assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
+    let error = err.get("error").expect("error object");
+    assert_eq!(error.get("kind").and_then(Value::as_str), Some("oversized"), "{}", lines[0]);
     assert!(
-        err.get("error").and_then(Value::as_str).unwrap().contains("256-byte limit"),
+        error.get("message").and_then(Value::as_str).unwrap().contains("256-byte limit"),
         "{}",
         lines[0]
     );
@@ -336,9 +348,17 @@ fn serve_verbs_are_documented_and_validated() {
         c
     });
     let stdout = String::from_utf8(out.stdout).unwrap();
-    for needle in
-        ["regpipe serve", "regpipe replay", "regpipe bench-serve", "--socket", "--repeat"]
-    {
+    for needle in [
+        "regpipe serve",
+        "regpipe replay",
+        "regpipe chaos",
+        "regpipe bench-serve",
+        "--socket",
+        "--repeat",
+        "--cache-dir",
+        "--deadline-ms",
+        "--retry",
+    ] {
         assert!(stdout.contains(needle), "help missing '{needle}'");
     }
     for topic in ["serve", "replay", "bench-serve"] {
@@ -349,12 +369,22 @@ fn serve_verbs_are_documented_and_validated() {
         });
         assert!(String::from_utf8(out.stdout).unwrap().contains("--no-cache"), "help {topic}");
     }
+    let out = run_ok({
+        let mut c = bin();
+        c.args(["help", "chaos"]);
+        c
+    });
+    assert!(String::from_utf8(out.stdout).unwrap().contains("--cycles"), "help chaos");
     for (args, needle) in [
         (&["replay", "--count", "0"][..], "--count"),
         (&["replay", "--repeat", "nope"], "--repeat"),
         (&["replay", "--source", "warp"], "unknown --source"),
         (&["replay", "--scheduler", "warp"], "unknown scheduler"),
+        (&["replay", "--retry", "0"], "--retry"),
         (&["serve", "--cache-bytes", "0"], "--cache-bytes"),
+        (&["serve", "--deadline-ms", "0"], "--deadline-ms"),
+        (&["chaos", "--count", "3"], "--count"),
+        (&["chaos", "--cycles", "0"], "--cycles"),
         (&["bench-serve", "--machine", "m9"], "unknown machine"),
     ] {
         let out = bin().args(args).output().expect("spawn regpipe");
