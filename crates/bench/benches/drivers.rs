@@ -22,6 +22,7 @@ fn bench_spill_ablation(c: &mut Criterion) {
                 last_ii_pruning: false,
                 ii_relief: true,
                 max_rounds: 1024,
+                ..SpillDriverOptions::default()
             },
         ),
         (
@@ -32,6 +33,7 @@ fn bench_spill_ablation(c: &mut Criterion) {
                 last_ii_pruning: false,
                 ii_relief: true,
                 max_rounds: 1024,
+                ..SpillDriverOptions::default()
             },
         ),
         (
@@ -42,6 +44,7 @@ fn bench_spill_ablation(c: &mut Criterion) {
                 last_ii_pruning: true,
                 ii_relief: true,
                 max_rounds: 1024,
+                ..SpillDriverOptions::default()
             },
         ),
         ("both", SpillDriverOptions::default()),

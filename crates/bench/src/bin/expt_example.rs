@@ -70,6 +70,7 @@ fn main() {
         last_ii_pruning: false,
         ii_relief: true,
         max_rounds: 64,
+        ..SpillDriverOptions::default()
     });
     // The paper's Figure 6 counts 5 *variant* registers; the invariant `a`
     // occupies one more, so the total budget is 6.

@@ -23,6 +23,7 @@ fn trace(name: &str, g: &regpipe_ddg::Ddg, machine: &MachineConfig, budget: u32)
         last_ii_pruning: false,
         ii_relief: true,
         max_rounds: 512,
+        ..SpillDriverOptions::default()
     });
     let _ =
         writeln!(out, "--- {name}: Max(LT), one lifetime per reschedule, budget {budget} ---");

@@ -12,7 +12,7 @@
 //! before/after speedups in one artifact.
 
 use criterion::{measure, Measurement};
-use regpipe_core::{compile, CompileOptions, Strategy};
+use regpipe_core::{compile, CompileOptions, SpillPolicyKind, Strategy};
 use regpipe_exec::json::Value;
 use regpipe_exec::strategy_slug;
 use regpipe_loops::{generate, BenchLoop, GenParams};
@@ -34,6 +34,8 @@ pub struct CompileBenchConfig {
     pub strategies: Vec<Strategy>,
     /// The core modulo scheduler every cell runs (`--scheduler`).
     pub scheduler: SchedulerKind,
+    /// Victim-ranking policy for every spilling cell (`--spill-policy`).
+    pub spill_policy: SpillPolicyKind,
     /// Machine model.
     pub machine: MachineConfig,
     /// Whether to run the sampling loop and include wall-time fields.
@@ -51,6 +53,7 @@ impl Default for CompileBenchConfig {
             budgets: vec![64, 32],
             strategies: vec![Strategy::BestOfAll, Strategy::Spill, Strategy::IncreaseIi],
             scheduler: SchedulerKind::default(),
+            spill_policy: SpillPolicyKind::default(),
             machine: MachineConfig::p2l4(),
             timed: false,
         }
@@ -98,11 +101,12 @@ fn sweep(loops: &[BenchLoop], cfg: &CompileBenchConfig) -> (u32, u32, u64, u64, 
     for l in loops {
         for &budget in &cfg.budgets {
             for &strategy in &cfg.strategies {
-                let options = CompileOptions {
+                let mut options = CompileOptions {
                     strategy,
                     scheduler: cfg.scheduler,
                     ..CompileOptions::default()
                 };
+                options.spill.policy = cfg.spill_policy;
                 match compile(&l.ddg, &cfg.machine, budget, &options) {
                     Ok(c) => {
                         fitted += 1;
@@ -148,9 +152,9 @@ pub fn run_compile_bench(cfg: &CompileBenchConfig) -> Result<CompileBenchReport,
 }
 
 impl CompileBenchReport {
-    /// Renders `BENCH_compile.json` (schema `regpipe-bench-compile/v2`;
+    /// Renders `BENCH_compile.json` (schema `regpipe-bench-compile/v3`;
     /// v2 added the top-level `scheduler` field recording the scheduler
-    /// axis of the run).
+    /// axis of the run, v3 the `spill_policy` field).
     ///
     /// Deterministic fields always appear; `mean_wall_us`/`iters` only for
     /// timed runs. When `before` carries a previously emitted *timed*
@@ -176,9 +180,10 @@ impl CompileBenchReport {
             .unwrap_or_default();
 
         let mut top = vec![
-            ("schema".to_string(), Value::Str("regpipe-bench-compile/v2".into())),
+            ("schema".to_string(), Value::Str("regpipe-bench-compile/v3".into())),
             ("machine".to_string(), Value::Str(self.config.machine.name().to_string())),
             ("scheduler".to_string(), Value::Str(self.config.scheduler.slug().into())),
+            ("spill_policy".to_string(), Value::Str(self.config.spill_policy.slug().into())),
             ("seed".to_string(), Value::uint(self.config.seed)),
             ("count_per_size".to_string(), Value::uint(self.config.count as u64)),
             (
@@ -265,8 +270,9 @@ mod tests {
         assert_eq!(a, b, "two untimed runs must render byte-identically");
         assert!(!a.contains("mean_wall_us"));
         let doc = regpipe_exec::json::parse(&a).expect("report parses");
-        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-compile/v2".into())));
+        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-compile/v3".into())));
         assert_eq!(doc.get("scheduler"), Some(&Value::Str("hrms".into())));
+        assert_eq!(doc.get("spill_policy"), Some(&Value::Str("paper".into())));
         assert_eq!(doc.get("sizes").and_then(Value::as_array).map(<[Value]>::len), Some(2));
     }
 
@@ -278,6 +284,20 @@ mod tests {
         let text = run_compile_bench(&cfg).unwrap().to_json(None);
         let doc = regpipe_exec::json::parse(&text).expect("report parses");
         assert_eq!(doc.get("scheduler"), Some(&Value::Str("sms".into())));
+    }
+
+    /// A non-default spill policy flows into every cell and into the
+    /// report's top-level `spill_policy` field.
+    #[test]
+    fn spill_policy_axis_is_recorded() {
+        let cfg = CompileBenchConfig {
+            spill_policy: SpillPolicyKind::MinNextUse,
+            budgets: vec![8],
+            ..tiny()
+        };
+        let text = run_compile_bench(&cfg).unwrap().to_json(None);
+        let doc = regpipe_exec::json::parse(&text).expect("report parses");
+        assert_eq!(doc.get("spill_policy"), Some(&Value::Str("min-next-use".into())));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The `regpipe gap` harness: heuristic optimality gaps against the exact
 //! branch-and-bound oracle, rendered as `BENCH_gap.json` (schema
-//! `regpipe-bench-gap/v1`).
+//! `regpipe-bench-gap/v2`; v2 added the per-spill-policy section).
 //!
 //! Every loop is scheduled once by [`ExactScheduler`] and once by each
 //! registered heuristic ([`gap_heuristics`]), all sharing one
@@ -10,6 +10,13 @@
 //! only attributed to loops whose optimum the oracle *proved*: against an
 //! unproven best-effort schedule a difference is not an optimality gap.
 //!
+//! Alongside the scheduler comparison, every loop is also compiled under
+//! a fixed register budget once per registered [`SpillPolicyKind`]; the
+//! report's `spill_policies` section totals spill counts and achieved IIs
+//! per policy — restricted to the loops every policy fitted, so the
+//! deltas against the baseline policy (`--spill-policy`) compare
+//! identical loop sets.
+//!
 //! The report carries no wall-clock fields at all — unlike `BENCH_suite`
 //! and `BENCH_compile` there is no timing opt-in — so runs byte-compare
 //! across machines and `--jobs` values unconditionally (per-loop work is
@@ -17,12 +24,18 @@
 
 use std::num::NonZeroUsize;
 
+use regpipe_core::{compile, CompileOptions, SpillPolicyKind};
 use regpipe_exec::json::Value;
 use regpipe_exec::parallel_map;
 use regpipe_loops::BenchLoop;
 use regpipe_machine::MachineConfig;
 use regpipe_regalloc::allocate;
 use regpipe_sched::{ExactScheduler, LoopAnalysis, SchedRequest, Scheduler, SchedulerKind};
+
+/// Default register budget for the per-spill-policy comparison
+/// (`--spill-budget`): tight enough that small generated kernels actually
+/// spill, loose enough that every policy usually fits.
+pub const DEFAULT_SPILL_BUDGET: u32 = 16;
 
 /// The heuristic side of the comparison: every registered scheduler
 /// except the oracle itself, in registry order.
@@ -42,6 +55,12 @@ pub struct GapConfig {
     /// Where the loops came from (recorded in the report, e.g.
     /// `gen:seed=7,count=100,max_ops=12` or `corpus:<dir>`).
     pub source: String,
+    /// Baseline policy the per-policy deltas are taken against
+    /// (`--spill-policy`).
+    pub spill_policy: SpillPolicyKind,
+    /// Register budget for the per-policy compile comparison
+    /// (`--spill-budget`).
+    pub spill_budget: u32,
 }
 
 /// One schedule's quality numbers: the three axes the paper evaluates.
@@ -53,6 +72,16 @@ pub struct SchedPoint {
     pub sc: u32,
     /// MaxLive plus invariants — the actual register requirement.
     pub max_live: u32,
+}
+
+/// One spill policy's compile outcome on one loop (`None` when the loop
+/// did not fit the spill budget under that policy).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpillOutcome {
+    /// Achieved initiation interval of the budgeted compile.
+    pub ii: u32,
+    /// Lifetimes spilled to fit the budget.
+    pub spilled: u32,
 }
 
 /// One loop's oracle outcome next to every heuristic's schedule.
@@ -68,6 +97,28 @@ pub struct LoopGap {
     pub nodes: u64,
     /// One point per heuristic, in [`gap_heuristics`] order.
     pub heuristics: Vec<SchedPoint>,
+    /// One budgeted-compile outcome per policy, in
+    /// [`SpillPolicyKind::ALL`] order.
+    pub spill: Vec<Option<SpillOutcome>>,
+}
+
+/// Aggregate of one spill policy over the comparable subset of a run
+/// (the loops *every* policy fitted, so totals compare like with like).
+#[derive(Clone, Copy, Debug)]
+pub struct SpillPolicyAggregate {
+    /// Which policy.
+    pub policy: SpillPolicyKind,
+    /// Loops this policy fitted within the budget (over all loops, not
+    /// just the comparable subset).
+    pub fitted: u32,
+    /// Σ spilled lifetimes over the comparable subset.
+    pub spilled_total: u64,
+    /// Σ achieved II over the comparable subset.
+    pub ii_total: u64,
+    /// `spilled_total − baseline.spilled_total` (0 for the baseline).
+    pub spilled_delta: i64,
+    /// `ii_total − baseline.ii_total` (0 for the baseline).
+    pub ii_delta: i64,
 }
 
 /// Aggregate gaps of one heuristic over the proven subset of a run.
@@ -111,12 +162,22 @@ pub fn run_gap(loops: &[BenchLoop], config: &GapConfig) -> GapReport {
                 point(l, &s)
             })
             .collect();
+        let spill = SpillPolicyKind::ALL
+            .into_iter()
+            .map(|policy| {
+                let options = CompileOptions::with_spill_policy(policy);
+                compile(&l.ddg, &config.machine, config.spill_budget, &options)
+                    .ok()
+                    .map(|c| SpillOutcome { ii: c.ii(), spilled: c.spilled() })
+            })
+            .collect();
         LoopGap {
             name: l.name.clone(),
             exact: point(l, &outcome.schedule),
             proven: outcome.proven(),
             nodes: outcome.nodes,
             heuristics,
+            spill,
         }
     });
     GapReport { config: config.clone(), loops: per_loop }
@@ -166,8 +227,56 @@ impl GapReport {
             .collect()
     }
 
-    /// Renders `BENCH_gap.json` (schema `regpipe-bench-gap/v1`). Every
-    /// field is deterministic; there are no timing fields to opt into.
+    /// Loops that fitted the spill budget under *every* registered
+    /// policy — the subset the per-policy totals and deltas range over.
+    pub fn spill_comparable(&self) -> u32 {
+        self.loops.iter().filter(|l| l.spill.iter().all(Option::is_some)).count() as u32
+    }
+
+    /// Per-policy totals and deltas against the configured baseline
+    /// policy, in [`SpillPolicyKind::ALL`] order.
+    pub fn spill_aggregates(&self) -> Vec<SpillPolicyAggregate> {
+        let comparable: Vec<&LoopGap> =
+            self.loops.iter().filter(|l| l.spill.iter().all(Option::is_some)).collect();
+        let totals: Vec<SpillPolicyAggregate> = SpillPolicyKind::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(i, policy)| {
+                let mut agg = SpillPolicyAggregate {
+                    policy,
+                    fitted: self.loops.iter().filter(|l| l.spill[i].is_some()).count() as u32,
+                    spilled_total: 0,
+                    ii_total: 0,
+                    spilled_delta: 0,
+                    ii_delta: 0,
+                };
+                for l in &comparable {
+                    let o = l.spill[i].expect("comparable loops fitted every policy");
+                    agg.spilled_total += u64::from(o.spilled);
+                    agg.ii_total += u64::from(o.ii);
+                }
+                agg
+            })
+            .collect();
+        let baseline_index = SpillPolicyKind::ALL
+            .into_iter()
+            .position(|p| p == self.config.spill_policy)
+            .expect("the baseline policy is registered");
+        let baseline = totals[baseline_index];
+        totals
+            .into_iter()
+            .map(|mut agg| {
+                agg.spilled_delta = agg.spilled_total as i64 - baseline.spilled_total as i64;
+                agg.ii_delta = agg.ii_total as i64 - baseline.ii_total as i64;
+                agg
+            })
+            .collect()
+    }
+
+    /// Renders `BENCH_gap.json` (schema `regpipe-bench-gap/v2`; v2 added
+    /// the `spill_policy`/`spill_budget`/`spill_comparable`/
+    /// `spill_policies` fields). Every field is deterministic; there are
+    /// no timing fields to opt into.
     pub fn to_json(&self) -> String {
         let proven = self.proven();
         let aggregate = self
@@ -229,8 +338,22 @@ impl GapReport {
                 ])
             })
             .collect();
+        let spill_policies = self
+            .spill_aggregates()
+            .iter()
+            .map(|a| {
+                Value::Object(vec![
+                    ("policy".into(), Value::Str(a.policy.slug().into())),
+                    ("fitted".into(), Value::uint(u64::from(a.fitted))),
+                    ("spilled_total".into(), Value::uint(a.spilled_total)),
+                    ("ii_total".into(), Value::uint(a.ii_total)),
+                    ("spilled_delta".into(), Value::Int(a.spilled_delta)),
+                    ("ii_delta".into(), Value::Int(a.ii_delta)),
+                ])
+            })
+            .collect();
         let top = Value::Object(vec![
-            ("schema".into(), Value::Str("regpipe-bench-gap/v1".into())),
+            ("schema".into(), Value::Str("regpipe-bench-gap/v2".into())),
             ("machine".into(), Value::Str(self.config.machine.name().to_string())),
             ("source".into(), Value::Str(self.config.source.clone())),
             ("node_budget".into(), Value::uint(self.config.node_budget)),
@@ -238,6 +361,10 @@ impl GapReport {
             ("proven".into(), Value::uint(u64::from(proven))),
             ("unproven".into(), Value::uint(self.loops.len() as u64 - u64::from(proven))),
             ("nodes_total".into(), Value::uint(self.nodes_total())),
+            ("spill_policy".into(), Value::Str(self.config.spill_policy.slug().into())),
+            ("spill_budget".into(), Value::uint(u64::from(self.config.spill_budget))),
+            ("spill_comparable".into(), Value::uint(u64::from(self.spill_comparable()))),
+            ("spill_policies".into(), Value::Array(spill_policies)),
             ("aggregate".into(), Value::Array(aggregate)),
             ("per_loop".into(), Value::Array(per_loop)),
         ]);
@@ -264,6 +391,8 @@ mod tests {
             node_budget,
             jobs: NonZeroUsize::new(2).unwrap(),
             source: "test".into(),
+            spill_policy: SpillPolicyKind::default(),
+            spill_budget: DEFAULT_SPILL_BUDGET,
         }
     }
 
@@ -279,7 +408,7 @@ mod tests {
         assert_eq!(a, b, "worker count changed BENCH_gap.json bytes");
         assert!(!a.contains("wall"), "gap reports never carry timing");
         let doc = regpipe_exec::json::parse(&a).expect("report parses");
-        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-gap/v1".into())));
+        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-gap/v2".into())));
         assert_eq!(doc.get("per_loop").and_then(Value::as_array).map(<[Value]>::len), Some(12));
     }
 
@@ -298,6 +427,41 @@ mod tests {
                     l.exact.ii
                 );
             }
+        }
+    }
+
+    #[test]
+    fn spill_section_covers_every_policy_and_zeroes_the_baseline_deltas() {
+        let loops = small_corpus(12);
+        let report = run_gap(&loops, &config(DEFAULT_NODE_BUDGET));
+        let aggs = report.spill_aggregates();
+        assert_eq!(aggs.len(), SpillPolicyKind::ALL.len());
+        assert!(report.spill_comparable() > 0, "small kernels must fit budget 16");
+        let baseline = aggs
+            .iter()
+            .find(|a| a.policy == SpillPolicyKind::Paper)
+            .expect("the baseline is registered");
+        assert_eq!((baseline.spilled_delta, baseline.ii_delta), (0, 0));
+        // A non-paper baseline re-centres the deltas, nothing else.
+        let recentred = GapReport {
+            config: GapConfig {
+                spill_policy: SpillPolicyKind::MinNextUse,
+                ..report.config.clone()
+            },
+            loops: report.loops.clone(),
+        };
+        let shifted = recentred.spill_aggregates();
+        let minu = shifted.iter().find(|a| a.policy == SpillPolicyKind::MinNextUse).unwrap();
+        assert_eq!((minu.spilled_delta, minu.ii_delta), (0, 0));
+        for (a, b) in aggs.iter().zip(&shifted) {
+            assert_eq!((a.spilled_total, a.ii_total), (b.spilled_total, b.ii_total));
+        }
+        let text = report.to_json();
+        for policy in SpillPolicyKind::ALL {
+            assert!(
+                text.contains(&format!("\"policy\":\"{}\"", policy.slug())),
+                "missing {policy} in:\n{text}"
+            );
         }
     }
 

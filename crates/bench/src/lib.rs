@@ -13,8 +13,9 @@
 //!
 //! Beyond the paper figures, [`run_gap`] backs the `regpipe gap` verb:
 //! it schedules a corpus under the exact branch-and-bound oracle and
-//! every registered heuristic and reports the optimality gaps
-//! (`BENCH_gap.json`, schema `regpipe-bench-gap/v1`).
+//! every registered heuristic and reports the optimality gaps, plus a
+//! register-squeezed comparison of every registered spill policy
+//! (`BENCH_gap.json`, schema `regpipe-bench-gap/v2`).
 //!
 //! Run them in release mode, e.g.
 //! `cargo run --release -p regpipe-bench --bin expt_table1`.
@@ -33,6 +34,7 @@ mod gap;
 pub use compile_bench::{run_compile_bench, CompileBenchConfig, CompileBenchReport, SizePoint};
 pub use gap::{
     gap_heuristics, run_gap, GapConfig, GapReport, LoopGap, SchedPoint, SchedulerAggregate,
+    SpillOutcome, SpillPolicyAggregate, DEFAULT_SPILL_BUDGET,
 };
 
 use std::num::NonZeroUsize;
@@ -117,6 +119,7 @@ pub fn fig8_variants() -> Vec<Fig8Variant> {
         last_ii_pruning: false,
         ii_relief: true,
         max_rounds: 1024,
+        ..SpillDriverOptions::default()
     };
     vec![
         Fig8Variant { label: "Max(LT)", options: base(SelectHeuristic::MaxLt) },

@@ -7,7 +7,7 @@ use regpipe_ddg::Ddg;
 use regpipe_machine::MachineConfig;
 use regpipe_regalloc::AllocationResult;
 use regpipe_sched::{Kernel, Schedule, SchedulerKind};
-use regpipe_spill::SelectHeuristic;
+use regpipe_spill::{SelectHeuristic, SpillPolicyKind};
 
 use crate::best_of_all::{BestOfAllDriver, Winner};
 use crate::increase_ii::{IncreaseIiDriver, IncreaseIiFailure};
@@ -54,6 +54,20 @@ impl CompileOptions {
         let mut o = CompileOptions::default();
         o.spill.heuristic = heuristic;
         o
+    }
+
+    /// Convenience: default options with a different spill policy.
+    pub fn with_spill_policy(policy: SpillPolicyKind) -> Self {
+        let mut o = CompileOptions::default();
+        o.spill.policy = policy;
+        o
+    }
+
+    /// The spill policy the spill-capable strategies will rank victims
+    /// with (a shorthand for `options.spill.policy`). The increase-II
+    /// strategy never spills, so the policy is inert there.
+    pub fn spill_policy(&self) -> SpillPolicyKind {
+        self.spill.policy
     }
 }
 
@@ -322,6 +336,43 @@ mod tests {
                 assert_eq!(c.schedule().scheduler(), scheduler.slug());
             }
         }
+    }
+
+    /// Every cell of the policy × strategy matrix compiles, meets its
+    /// budget, and verifies; the policy flows through every spill-capable
+    /// driver (and is inert for increase-II).
+    #[test]
+    fn spill_policy_strategy_matrix_compiles_and_verifies() {
+        let g = stencil();
+        let m = MachineConfig::p2l4();
+        for policy in SpillPolicyKind::ALL {
+            for strategy in [Strategy::IncreaseIi, Strategy::Spill, Strategy::BestOfAll] {
+                let mut options = CompileOptions::with_spill_policy(policy);
+                options.strategy = strategy;
+                assert_eq!(options.spill_policy(), policy);
+                let c = compile(&g, &m, 6, &options)
+                    .unwrap_or_else(|e| panic!("{policy}/{strategy:?}: {e}"));
+                assert!(c.registers_used() <= 6, "{policy}/{strategy:?}");
+                c.schedule().verify(c.ddg(), &m).unwrap();
+            }
+        }
+    }
+
+    /// The `paper` policy is the default and reproduces the pre-registry
+    /// driver result exactly on the reference loop.
+    #[test]
+    fn default_policy_is_paper_and_matches_explicit_selection() {
+        let g = stencil();
+        let m = MachineConfig::p2l4();
+        assert_eq!(CompileOptions::default().spill_policy(), SpillPolicyKind::Paper);
+        let implicit = compile(&g, &m, 4, &CompileOptions::default()).unwrap();
+        let explicit =
+            compile(&g, &m, 4, &CompileOptions::with_spill_policy(SpillPolicyKind::Paper))
+                .unwrap();
+        assert_eq!(implicit.ii(), explicit.ii());
+        assert_eq!(implicit.registers_used(), explicit.registers_used());
+        assert_eq!(implicit.spilled(), explicit.spilled());
+        assert_eq!(implicit.schedule(), explicit.schedule());
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub use compile::{compile, CompileError, CompileOptions, CompiledLoop, Strategy}
 // scheduler axis without depending on `regpipe_sched` directly.
 pub use increase_ii::{IiSweepPoint, IncreaseIiDriver, IncreaseIiFailure, IncreaseIiOutcome};
 pub use regpipe_sched::SchedulerKind;
+// Part of `CompileOptions`' public surface, like the scheduler axis above:
+// downstream crates select the spill policy without depending on
+// `regpipe_spill` directly.
+pub use regpipe_spill::SpillPolicyKind;
 pub use spill_driver::{
     SpillDriver, SpillDriverOptions, SpillFailure, SpillOutcome, SpillTracePoint,
 };

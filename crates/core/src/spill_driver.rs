@@ -11,12 +11,18 @@ use regpipe_regalloc::{allocate, AllocationResult, LifetimeAnalysis};
 use regpipe_sched::{
     HrmsScheduler, LoopAnalysis, SchedError, SchedRequest, Schedule, Scheduler,
 };
-use regpipe_spill::{candidates, select, select_batch, spill_batch, SelectHeuristic};
+use regpipe_spill::{
+    candidates, spill_batch, RankContext, SelectHeuristic, SpillPolicy, SpillPolicyKind,
+};
 
 /// Options for the iterative spilling driver.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SpillDriverOptions {
-    /// Victim-selection heuristic (Section 4.1).
+    /// Victim-ranking policy from the `regpipe_spill` registry; defaults to
+    /// the paper's ranking.
+    pub policy: SpillPolicyKind,
+    /// Victim-selection heuristic (Section 4.1), consulted by the
+    /// [`SpillPolicyKind::Paper`] policy.
     pub heuristic: SelectHeuristic,
     /// Spill several lifetimes per reschedule, driven by the optimistic
     /// MaxLive estimate (first acceleration of Section 4.5).
@@ -39,6 +45,7 @@ impl Default for SpillDriverOptions {
     /// accelerations enabled.
     fn default() -> Self {
         SpillDriverOptions {
+            policy: SpillPolicyKind::default(),
             heuristic: SelectHeuristic::MaxLtOverTraffic,
             multi_spill: true,
             last_ii_pruning: true,
@@ -53,6 +60,7 @@ impl SpillDriverOptions {
     /// exploration.
     pub fn unaccelerated(heuristic: SelectHeuristic) -> Self {
         SpillDriverOptions {
+            policy: SpillPolicyKind::default(),
             heuristic,
             multi_spill: false,
             last_ii_pruning: false,
@@ -281,29 +289,32 @@ impl<S: Scheduler> SpillDriver<S> {
                 });
             }
 
-            // Select and apply victims.
+            // Select and apply victims. Ranking is delegated to the
+            // configured policy; the round counter feeds the stress
+            // policy's rotation.
             let analysis = LifetimeAnalysis::new(&g, &sched);
             let pool = candidates(&g, &analysis);
+            let rank_ctx = RankContext {
+                analysis: &analysis,
+                heuristic: self.options.heuristic,
+                round: reschedules as usize,
+            };
+            let policy = self.options.policy;
             let victims: Vec<_> = if self.options.multi_spill {
-                let batch = select_batch(
-                    &pool,
-                    self.options.heuristic,
-                    analysis.max_live(),
-                    regs,
-                    sched.ii(),
-                )
-                .into_iter()
-                .cloned()
-                .collect::<Vec<_>>();
+                let batch = policy
+                    .select_batch(&pool, &rank_ctx, regs)
+                    .into_iter()
+                    .cloned()
+                    .collect::<Vec<_>>();
                 if batch.is_empty() {
                     // The optimistic estimate already sits below budget but
                     // the real allocation does not: force progress.
-                    select(&pool, self.options.heuristic).into_iter().cloned().collect()
+                    policy.select(&pool, &rank_ctx).into_iter().cloned().collect()
                 } else {
                     batch
                 }
             } else {
-                select(&pool, self.options.heuristic).into_iter().cloned().collect()
+                policy.select(&pool, &rank_ctx).into_iter().cloned().collect()
             };
             if victims.is_empty() {
                 if self.options.ii_relief {
@@ -499,6 +510,7 @@ mod tests {
             last_ii_pruning: false,
             ii_relief: true,
             max_rounds: 1024,
+            ..SpillDriverOptions::default()
         })
         .run(&g, &m, 16)
         .unwrap();
@@ -508,6 +520,7 @@ mod tests {
             last_ii_pruning: false,
             ii_relief: true,
             max_rounds: 1024,
+            ..SpillDriverOptions::default()
         })
         .run(&g, &m, 16)
         .unwrap();
@@ -529,6 +542,7 @@ mod tests {
             last_ii_pruning: false,
             ii_relief: true,
             max_rounds: 1024,
+            ..SpillDriverOptions::default()
         })
         .run(&g, &m, 12)
         .unwrap();
@@ -538,6 +552,7 @@ mod tests {
             last_ii_pruning: true,
             ii_relief: true,
             max_rounds: 1024,
+            ..SpillDriverOptions::default()
         })
         .run(&g, &m, 12)
         .unwrap();

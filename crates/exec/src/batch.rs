@@ -123,6 +123,9 @@ pub struct BatchReport {
     /// Canonical slug of the core scheduler every cell ran
     /// (`hrms`/`sms`/`asap`, from [`CompileOptions::scheduler`]).
     pub scheduler: String,
+    /// Canonical slug of the spill policy every cell ranked victims with
+    /// (from `CompileOptions::spill.policy`).
+    pub spill_policy: String,
     /// Number of loops in the suite.
     pub suite_size: usize,
     /// Worker threads the run used (metadata only; results are identical
@@ -169,8 +172,9 @@ impl BatchReport {
     }
 
     /// Renders the report as `BENCH_suite.json` (schema
-    /// `regpipe-bench-suite/v2`; v2 added the top-level `scheduler` field
-    /// recording the scheduler axis of the run).
+    /// `regpipe-bench-suite/v3`; v2 added the top-level `scheduler` field
+    /// recording the scheduler axis of the run, v3 the `spill_policy`
+    /// field recording the spill-policy axis).
     ///
     /// With `include_timing = false` (the default for emitted files) the
     /// rendering contains only deterministic fields and is byte-identical
@@ -178,9 +182,10 @@ impl BatchReport {
     /// and aggregate plus `total_wall_us` and `jobs` at the top level.
     pub fn to_json(&self, include_timing: bool) -> String {
         let mut top = vec![
-            ("schema".to_string(), Value::Str("regpipe-bench-suite/v2".into())),
+            ("schema".to_string(), Value::Str("regpipe-bench-suite/v3".into())),
             ("machine".to_string(), Value::Str(self.machine.clone())),
             ("scheduler".to_string(), Value::Str(self.scheduler.clone())),
+            ("spill_policy".to_string(), Value::Str(self.spill_policy.clone())),
             ("suite_size".to_string(), Value::uint(self.suite_size as u64)),
         ];
         if include_timing {
@@ -331,6 +336,7 @@ pub fn run_batch(loops: &[BenchLoop], req: &BatchRequest) -> BatchReport {
     BatchReport {
         machine: req.machine.name().to_string(),
         scheduler: req.options.scheduler.slug().to_string(),
+        spill_policy: req.options.spill_policy().slug().to_string(),
         suite_size: loops.len(),
         jobs: req.jobs.get(),
         cells,
@@ -384,8 +390,9 @@ mod tests {
         let report = run_batch(&loops, &request(2));
         let text = report.to_json(false);
         let doc = crate::json::parse(&text).expect("report JSON parses");
-        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-suite/v2".into())));
+        assert_eq!(doc.get("schema"), Some(&Value::Str("regpipe-bench-suite/v3".into())));
         assert_eq!(doc.get("scheduler"), Some(&Value::Str("hrms".into())));
+        assert_eq!(doc.get("spill_policy"), Some(&Value::Str("paper".into())));
         assert!(!text.contains("wall_us"));
         let timed = report.to_json(true);
         assert!(timed.contains("wall_us"));
@@ -408,6 +415,25 @@ mod tests {
             assert_eq!(parallel, sequential, "{kind}: jobs must not matter");
             let doc = crate::json::parse(&parallel).unwrap();
             assert_eq!(doc.get("scheduler"), Some(&Value::Str(kind.slug().into())));
+        }
+    }
+
+    /// The spill-policy axis flows from the request into the report: the
+    /// top-level field records the slug, and every registered policy
+    /// produces byte-identical results at any job count.
+    #[test]
+    fn spill_policy_axis_is_recorded_and_deterministic() {
+        use regpipe_core::SpillPolicyKind;
+        let loops = suite(3, 4);
+        for kind in SpillPolicyKind::ALL {
+            let mut req = request(2);
+            req.options.spill.policy = kind;
+            let parallel = run_batch(&loops, &req).to_json(false);
+            req.jobs = NonZeroUsize::new(1).unwrap();
+            let sequential = run_batch(&loops, &req).to_json(false);
+            assert_eq!(parallel, sequential, "{kind}: jobs must not matter");
+            let doc = crate::json::parse(&parallel).unwrap();
+            assert_eq!(doc.get("spill_policy"), Some(&Value::Str(kind.slug().into())));
         }
     }
 

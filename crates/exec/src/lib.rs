@@ -15,7 +15,7 @@
 //!   wall time per cell) whose deterministic portion is byte-identical for
 //!   any `--jobs` value.
 //! * [`BatchReport::to_json`] — a machine-readable `BENCH_suite.json`
-//!   rendering (schema `regpipe-bench-suite/v2`, see [`json`]) so the perf
+//!   rendering (schema `regpipe-bench-suite/v3`, see [`json`]) so the perf
 //!   trajectory is trackable across PRs; v2 records the scheduler axis
 //!   (`CompileOptions::scheduler`) as a top-level `scheduler` field.
 //! * [`resolve_jobs`] — worker-count policy: explicit flag, then the

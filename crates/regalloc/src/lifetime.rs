@@ -15,6 +15,7 @@ pub struct Lifetime {
     producer: OpId,
     start: i64,
     end: i64,
+    next_use: i64,
     sched_component: i64,
     dist_component: i64,
     last_consumer: OpId,
@@ -40,6 +41,21 @@ impl Lifetime {
     /// Total length in cycles (`LTSch + LTDist`).
     pub fn length(&self) -> i64 {
         self.end - self.start
+    }
+
+    /// Issue cycle of the *earliest* consumer (plus δ·II for loop-carried
+    /// consumption) — the value's next use after being produced. Spill
+    /// policies in the Braun & Hack tradition rank victims by the distance
+    /// from [`Lifetime::start`] to this cycle.
+    pub fn next_use(&self) -> i64 {
+        self.next_use
+    }
+
+    /// Cycles from production to the first consumption
+    /// (`next_use - start`). Can be 0 when one consumer fires at the
+    /// production cycle while a later consumer keeps the value live.
+    pub fn next_use_distance(&self) -> i64 {
+        self.next_use - self.start
     }
 
     /// The scheduling component `LTSch` (Section 2.4): the distance in the
@@ -115,11 +131,13 @@ impl LifetimeAnalysis {
             }
             let start = schedule.start(id);
             let mut best: Option<(i64, i64, OpId)> = None; // (end, dist_comp, consumer)
+            let mut next_use = i64::MAX;
             for (consumer, dist) in ddg.reg_consumers(id) {
                 let end = schedule.start(consumer) + i64::from(dist) * ii64;
                 if best.is_none_or(|(e, _, _)| end > e) {
                     best = Some((end, i64::from(dist) * ii64, consumer));
                 }
+                next_use = next_use.min(end);
             }
             let Some((end, dist_component, last_consumer)) = best else {
                 continue; // dead value: no register lifetime
@@ -134,6 +152,7 @@ impl LifetimeAnalysis {
                 producer: id,
                 start,
                 end,
+                next_use,
                 sched_component: end - dist_component - start,
                 dist_component,
                 last_consumer,
@@ -255,6 +274,21 @@ mod tests {
         let v1 = lt.lifetime(OpId::new(0)).unwrap();
         assert_eq!(v1.sched_component(), 4);
         assert_eq!(v1.dist_component(), 6);
+    }
+
+    #[test]
+    fn next_use_is_the_earliest_consumption() {
+        let (g, s) = fig2(1);
+        let lt = LifetimeAnalysis::new(&g, &s);
+        // V1 is consumed by the multiply at cycle 2 and (3 iterations
+        // later) by the add at 4 + 3·II = 7: the next use is the multiply.
+        let v1 = lt.lifetime(OpId::new(0)).unwrap();
+        assert_eq!(v1.next_use(), 2);
+        assert_eq!(v1.next_use_distance(), 2);
+        assert_eq!(v1.end(), 7, "last use stays the loop-carried add");
+        // Single-consumer lifetimes have next use == end.
+        let v2 = lt.lifetime(OpId::new(1)).unwrap();
+        assert_eq!(v2.next_use(), v2.end());
     }
 
     #[test]

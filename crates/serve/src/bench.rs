@@ -1,6 +1,6 @@
 //! The serve benchmark: drives a generated corpus through an in-process
 //! [`Server`] and reports throughput, hit rate, and latency percentiles
-//! as `BENCH_serve.json` (schema `regpipe-bench-serve/v1`).
+//! as `BENCH_serve.json` (schema `regpipe-bench-serve/v2`).
 //!
 //! Like every report in this workspace, the default output contains only
 //! deterministic fields (request counts, hit/miss/eviction totals, the
@@ -10,7 +10,7 @@
 
 use std::num::NonZeroUsize;
 
-use regpipe_core::Strategy;
+use regpipe_core::{SpillPolicyKind, Strategy};
 use regpipe_exec::json::Value;
 use regpipe_exec::strategy_slug;
 use regpipe_sched::SchedulerKind;
@@ -39,6 +39,8 @@ pub struct ServeBenchConfig {
     pub strategy: Strategy,
     /// Scheduler for every request.
     pub scheduler: SchedulerKind,
+    /// Spill policy for every request.
+    pub spill_policy: SpillPolicyKind,
     /// Machine spec for every request.
     pub machine_spec: String,
     /// Client-side concurrency.
@@ -58,6 +60,7 @@ impl Default for ServeBenchConfig {
             budgets: vec![64, 32],
             strategy: Strategy::BestOfAll,
             scheduler: SchedulerKind::default(),
+            spill_policy: SpillPolicyKind::default(),
             machine_spec: "p2l4".to_string(),
             jobs: NonZeroUsize::new(1).unwrap(),
             cache: true,
@@ -122,6 +125,7 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchReport, St
         budgets: config.budgets.clone(),
         strategy: config.strategy,
         scheduler: config.scheduler,
+        spill_policy: config.spill_policy,
         machine_spec: Some(config.machine_spec.clone()),
     };
     let source = ReplaySource::Gen { seed: config.seed, count: config.count };
@@ -174,11 +178,11 @@ fn round4(v: f64) -> f64 {
 
 impl ServeBenchReport {
     /// Renders the report as the `BENCH_serve.json` document (schema
-    /// `regpipe-bench-serve/v1`).
+    /// `regpipe-bench-serve/v2`; v2 added the `spill_policy` field).
     pub fn to_json(&self) -> String {
         let c = &self.config;
         let mut pairs = vec![
-            ("schema".to_string(), Value::Str("regpipe-bench-serve/v1".into())),
+            ("schema".to_string(), Value::Str("regpipe-bench-serve/v2".into())),
             ("seed".to_string(), Value::uint(c.seed)),
             ("count".to_string(), Value::uint(c.count as u64)),
             ("repeat".to_string(), Value::uint(c.repeat as u64)),
@@ -189,6 +193,7 @@ impl ServeBenchReport {
             ("machine".to_string(), Value::Str(c.machine_spec.clone())),
             ("scheduler".to_string(), Value::Str(c.scheduler.slug().into())),
             ("strategy".to_string(), Value::Str(strategy_slug(c.strategy).into())),
+            ("spill_policy".to_string(), Value::Str(c.spill_policy.slug().into())),
             ("cache".to_string(), Value::Bool(c.cache)),
             ("requests".to_string(), Value::uint(self.requests)),
             ("fitted".to_string(), Value::uint(self.fitted)),

@@ -1,7 +1,8 @@
 //! The sharded, bounded-memory LRU result cache.
 //!
 //! Keys are content addresses — `(ddg-hash, machine, scheduler, strategy,
-//! budget)` — and values are fully rendered response payloads, so a hit
+//! spill-policy, budget)` — and values are fully rendered response
+//! payloads, so a hit
 //! returns the *byte-identical* line a miss would have computed. Shard
 //! choice is a stable FNV-1a hash of the key (not `std::hash`, whose
 //! output is unspecified), so per-shard stats are reproducible across
@@ -35,6 +36,8 @@ pub struct CacheKey {
     pub scheduler: String,
     /// Strategy slug (`best`/`spill`/`increase-ii`).
     pub strategy: String,
+    /// Spill-policy registry slug (`paper`/`min-next-use`/…).
+    pub spill_policy: String,
     /// Register budget.
     pub budget: u32,
 }
@@ -43,15 +46,24 @@ impl CacheKey {
     /// Stable shard/index hash of the key (FNV-1a over its fields).
     pub fn stable_hash(&self) -> u64 {
         let text = format!(
-            "{:016x}|{}|{}|{}|{}",
-            self.ddg_hash, self.machine, self.scheduler, self.strategy, self.budget
+            "{:016x}|{}|{}|{}|{}|{}",
+            self.ddg_hash,
+            self.machine,
+            self.scheduler,
+            self.strategy,
+            self.spill_policy,
+            self.budget
         );
         fnv1a(text.as_bytes())
     }
 
     /// Approximate resident bytes of the key itself.
     fn approx_bytes(&self) -> usize {
-        self.machine.len() + self.scheduler.len() + self.strategy.len() + 16
+        self.machine.len()
+            + self.scheduler.len()
+            + self.strategy.len()
+            + self.spill_policy.len()
+            + 16
     }
 }
 
@@ -305,6 +317,7 @@ mod tests {
             machine: "M".into(),
             scheduler: "hrms".into(),
             strategy: "best".into(),
+            spill_policy: "paper".into(),
             budget: 32,
         }
     }
@@ -323,7 +336,7 @@ mod tests {
     fn lru_evicts_oldest_first_under_byte_pressure() {
         // One shard so recency order is global; capacity fits ~3 entries.
         let payload = "x".repeat(200);
-        let cost = 200 + 96 + (1 + 4 + 4 + 16); // payload + overhead + key
+        let cost = 200 + 96 + (1 + 4 + 4 + 5 + 16); // payload + overhead + key
         let c = ShardedCache::new(1, 3 * cost);
         for n in 0..3 {
             c.insert(key(n), payload.clone());
@@ -385,7 +398,7 @@ mod tests {
     #[test]
     fn eviction_slots_are_reused() {
         let payload = "z".repeat(200);
-        let cost = 200 + 96 + (1 + 4 + 4 + 16);
+        let cost = 200 + 96 + (1 + 4 + 4 + 5 + 16);
         let c = ShardedCache::new(1, 2 * cost);
         for n in 0..50 {
             c.insert(key(n), payload.clone());

@@ -18,7 +18,7 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use regpipe_core::Strategy;
+use regpipe_core::{SpillPolicyKind, Strategy};
 use regpipe_ddg::textfmt;
 use regpipe_exec::json::Value;
 use regpipe_exec::{parallel_map, strategy_slug};
@@ -36,6 +36,8 @@ pub struct ReplayConfig {
     pub strategy: Strategy,
     /// Scheduler sent with every request.
     pub scheduler: SchedulerKind,
+    /// Spill policy sent with every request.
+    pub spill_policy: SpillPolicyKind,
     /// Machine spec sent with every request; `None` omits the field and
     /// uses the daemon's default.
     pub machine_spec: Option<String>,
@@ -47,6 +49,7 @@ impl Default for ReplayConfig {
             budgets: vec![32],
             strategy: Strategy::BestOfAll,
             scheduler: SchedulerKind::default(),
+            spill_policy: SpillPolicyKind::default(),
             machine_spec: None,
         }
     }
@@ -86,6 +89,7 @@ pub fn requests_from_loops(loops: &[BenchLoop], config: &ReplayConfig) -> Vec<St
                 ("budget".to_string(), Value::uint(u64::from(budget))),
                 ("strategy".to_string(), Value::Str(strategy_slug(config.strategy).into())),
                 ("scheduler".to_string(), Value::Str(config.scheduler.slug().into())),
+                ("spill_policy".to_string(), Value::Str(config.spill_policy.slug().into())),
             ];
             if let Some(spec) = &config.machine_spec {
                 pairs.push(("machine".to_string(), Value::Str(spec.clone())));

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once};
 use std::time::Duration;
 
-use regpipe_core::{compile, CompileOptions, Strategy};
+use regpipe_core::{compile, CompileOptions, SpillPolicyKind, Strategy};
 use regpipe_ddg::{content_hash, textfmt, Ddg, OpKind};
 use regpipe_exec::json::{parse as parse_json, Value};
 use regpipe_exec::{parse_strategy, strategy_slug};
@@ -56,6 +56,11 @@ pub struct ServeOptions {
     /// How long `shutdown` waits for other in-flight connections to
     /// finish before closing them forcibly (`--drain-ms`).
     pub drain_ms: u64,
+    /// Spill policy for compile requests that omit the `spill_policy`
+    /// field (`--spill-policy`). Cache keys always carry the *resolved*
+    /// policy, so daemons with different defaults can share a cache dir
+    /// without aliasing entries.
+    pub default_spill_policy: SpillPolicyKind,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +74,7 @@ impl Default for ServeOptions {
             deadline_ms: None,
             compact_appends: 8192,
             drain_ms: 2000,
+            default_spill_policy: SpillPolicyKind::default(),
         }
     }
 }
@@ -358,7 +364,7 @@ impl Server {
     }
 
     fn handle_compile(&self, id: Option<i64>, doc: &Value) -> String {
-        let params = match CompileParams::from_request(doc) {
+        let params = match CompileParams::from_request(doc, self.options.default_spill_policy) {
             Ok(p) => p,
             Err(e) => return self.error_response(id, ErrorKind::Invalid, &e),
         };
@@ -565,11 +571,15 @@ struct CompileParams {
     machine: MachineConfig,
     scheduler: SchedulerKind,
     strategy: Strategy,
+    spill_policy: SpillPolicyKind,
     budget: u32,
 }
 
 impl CompileParams {
-    fn from_request(doc: &Value) -> Result<CompileParams, String> {
+    fn from_request(
+        doc: &Value,
+        default_spill_policy: SpillPolicyKind,
+    ) -> Result<CompileParams, String> {
         let text = doc
             .get("ddg")
             .and_then(Value::as_str)
@@ -596,6 +606,13 @@ impl CompileParams {
                 parse_strategy(slug).map_err(|e| format!("compile: {e}"))?
             }
         };
+        let spill_policy = match doc.get("spill_policy") {
+            None => default_spill_policy,
+            Some(v) => {
+                let slug = v.as_str().ok_or("compile: 'spill_policy' must be a string")?;
+                SpillPolicyKind::parse(slug).map_err(|e| format!("compile: {e}"))?
+            }
+        };
         let budget = match doc.get("budget") {
             None => 32,
             Some(v) => {
@@ -606,7 +623,7 @@ impl CompileParams {
             }
         };
         let ddg_hash = content_hash(&ddg);
-        Ok(CompileParams { ddg, ddg_hash, machine, scheduler, strategy, budget })
+        Ok(CompileParams { ddg, ddg_hash, machine, scheduler, strategy, spill_policy, budget })
     }
 
     fn cache_key(&self) -> CacheKey {
@@ -615,6 +632,7 @@ impl CompileParams {
             machine: machine_key(&self.machine),
             scheduler: self.scheduler.slug().to_string(),
             strategy: strategy_slug(self.strategy).to_string(),
+            spill_policy: self.spill_policy.slug().to_string(),
             budget: self.budget,
         }
     }
@@ -622,11 +640,12 @@ impl CompileParams {
     /// The id-free response payload: a pure, deterministic function of the
     /// request — the property the cache-on/off byte-identity gate rests on.
     fn compute_payload(&self) -> String {
-        let options = CompileOptions {
+        let mut options = CompileOptions {
             strategy: self.strategy,
             scheduler: self.scheduler,
             ..CompileOptions::default()
         };
+        options.spill.policy = self.spill_policy;
         let mut pairs = vec![
             ("ok".to_string(), Value::Bool(true)),
             ("ddg_hash".to_string(), Value::Str(format!("{:016x}", self.ddg_hash))),
@@ -728,6 +747,11 @@ mod tests {
                 "invalid",
                 "scheduler",
             ),
+            (
+                "{\"op\":\"compile\",\"ddg\":\"loop l\\nop x add\\n\",\"spill_policy\":\"y\"}",
+                "invalid",
+                "unknown spill policy",
+            ),
         ] {
             let r = server.handle_line(line);
             assert!(!r.shutdown);
@@ -739,7 +763,7 @@ mod tests {
             assert!(message.contains(want), "{line} -> {message}");
         }
         let stats = parse_json(&server.stats_payload()).unwrap();
-        assert_eq!(stats.get("protocol_errors").unwrap().as_i64(), Some(8));
+        assert_eq!(stats.get("protocol_errors").unwrap().as_i64(), Some(9));
         assert_eq!(stats.get("compile_requests").unwrap().as_i64(), Some(0));
     }
 
@@ -873,6 +897,66 @@ mod tests {
             machine_key(&MachineConfig::uniform(4, 2)),
             machine_key(&MachineConfig::uniform(4, 3))
         );
+    }
+
+    /// The spill policy is part of the cache key: distinct policies miss
+    /// separately, repeating a policy hits, and an absent field is the
+    /// same entry as an explicit `"paper"`.
+    #[test]
+    fn spill_policy_is_cache_keyed() {
+        let server = Server::new(ServeOptions::default());
+        let with_policy = |policy: &str| {
+            format!(
+                "{{\"op\":\"compile\",\"ddg\":{},\"spill_policy\":\"{policy}\"}}",
+                Value::Str(LOOP.into()).render()
+            )
+        };
+        let implicit = server.handle_line(&format!(
+            "{{\"op\":\"compile\",\"ddg\":{}}}",
+            Value::Str(LOOP.into()).render()
+        ));
+        for policy in ["paper", "min-next-use", "furthest-next-use", "round-robin"] {
+            let first = server.handle_line(&with_policy(policy));
+            let second = server.handle_line(&with_policy(policy));
+            assert_eq!(first.line, second.line, "{policy}");
+            assert!(first.line.contains("\"status\":\"fitted\""), "{policy}: {}", first.line);
+        }
+        assert_eq!(implicit.line, server.handle_line(&with_policy("paper")).line);
+        let stats = parse_json(&server.stats_payload()).unwrap();
+        let totals = stats.get("totals").unwrap();
+        // 4 distinct keys missed once each; the remaining 6 of the 10
+        // requests (including both explicit "paper" ones) hit.
+        assert_eq!(totals.get("misses").unwrap().as_i64(), Some(4));
+        assert_eq!(totals.get("hits").unwrap().as_i64(), Some(6));
+    }
+
+    /// `--spill-policy` on the daemon changes what an *absent* request
+    /// field resolves to, and the cache key carries the resolved policy.
+    #[test]
+    fn the_daemon_default_policy_resolves_into_the_cache_key() {
+        let server = Server::new(ServeOptions {
+            default_spill_policy: SpillPolicyKind::MinNextUse,
+            ..ServeOptions::default()
+        });
+        let with_policy = |policy: &str| {
+            format!(
+                "{{\"op\":\"compile\",\"ddg\":{},\"spill_policy\":\"{policy}\"}}",
+                Value::Str(LOOP.into()).render()
+            )
+        };
+        let implicit = server.handle_line(&format!(
+            "{{\"op\":\"compile\",\"ddg\":{}}}",
+            Value::Str(LOOP.into()).render()
+        ));
+        assert!(implicit.line.contains("\"status\":\"fitted\""), "{}", implicit.line);
+        // The implicit request filed under min-next-use: an explicit
+        // spelling hits, the paper policy is a distinct entry.
+        server.handle_line(&with_policy("min-next-use"));
+        server.handle_line(&with_policy("paper"));
+        let stats = parse_json(&server.stats_payload()).unwrap();
+        let totals = stats.get("totals").unwrap();
+        assert_eq!(totals.get("hits").unwrap().as_i64(), Some(1));
+        assert_eq!(totals.get("misses").unwrap().as_i64(), Some(2));
     }
 
     /// Equivalent formattings of the same loop share one cache entry.

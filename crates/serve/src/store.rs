@@ -26,7 +26,8 @@
 //! frame   = len crc payload ;             (* len, crc: u32 little-endian *)
 //! crc     = CRC-32 (IEEE) of payload ;
 //! payload = key-text "\n" value ;
-//! key-text = ddg-hash "|" machine "|" scheduler "|" strategy "|" budget ;
+//! key-text = ddg-hash "|" machine "|" scheduler "|" strategy
+//!            "|" spill-policy "|" budget ;
 //! ```
 //!
 //! `key-text` is exactly the text [`crate::CacheKey::stable_hash`] hashes
@@ -124,20 +125,21 @@ pub struct Store {
 /// Renders the key text that [`CacheKey::stable_hash`] hashes.
 fn key_text(key: &CacheKey) -> String {
     format!(
-        "{:016x}|{}|{}|{}|{}",
-        key.ddg_hash, key.machine, key.scheduler, key.strategy, key.budget
+        "{:016x}|{}|{}|{}|{}|{}",
+        key.ddg_hash, key.machine, key.scheduler, key.strategy, key.spill_policy, key.budget
     )
 }
 
 /// Parses a frame's key text back into a [`CacheKey`].
 fn parse_key_text(text: &str) -> Option<CacheKey> {
-    let mut parts = text.splitn(5, '|');
+    let mut parts = text.splitn(6, '|');
     let ddg_hash = u64::from_str_radix(parts.next()?, 16).ok()?;
     let machine = parts.next()?.to_string();
     let scheduler = parts.next()?.to_string();
     let strategy = parts.next()?.to_string();
+    let spill_policy = parts.next()?.to_string();
     let budget = parts.next()?.parse().ok()?;
-    Some(CacheKey { ddg_hash, machine, scheduler, strategy, budget })
+    Some(CacheKey { ddg_hash, machine, scheduler, strategy, spill_policy, budget })
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
@@ -397,6 +399,7 @@ mod tests {
             machine: "uniform;u=2,2,2,2,;l=2,2,2,4,4,1,;p=1111".into(),
             scheduler: "hrms".into(),
             strategy: "best".into(),
+            spill_policy: "paper".into(),
             budget: 16 + n,
         }
     }
@@ -435,6 +438,9 @@ mod tests {
         assert_eq!(parse_key_text(&key_text(&k)), Some(k));
         assert_eq!(parse_key_text("not a key"), None);
         assert_eq!(parse_key_text("0123|m|s"), None);
+        // Pre-spill-policy five-component keys no longer parse: stale
+        // entries are dropped at recovery rather than aliased to a policy.
+        assert_eq!(parse_key_text("0123|m|hrms|best|32"), None);
     }
 
     #[test]

@@ -201,7 +201,7 @@ pub fn select_batch(
     selected
 }
 
-fn rank(c: &SpillCandidate, heuristic: SelectHeuristic) -> f64 {
+pub(crate) fn rank(c: &SpillCandidate, heuristic: SelectHeuristic) -> f64 {
     match heuristic {
         SelectHeuristic::MaxLt => c.lifetime() as f64,
         SelectHeuristic::MaxLtOverTraffic => c.ratio(),
@@ -209,7 +209,7 @@ fn rank(c: &SpillCandidate, heuristic: SelectHeuristic) -> f64 {
 }
 
 /// Stable identity for deterministic tie-breaking.
-fn key(c: &SpillCandidate) -> (u8, usize) {
+pub(crate) fn key(c: &SpillCandidate) -> (u8, usize) {
     match *c {
         SpillCandidate::Variant { producer, .. } => (0, producer.index()),
         SpillCandidate::Invariant { id, .. } => (1, id.index()),

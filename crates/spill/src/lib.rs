@@ -24,6 +24,14 @@
 //! number of memory operations the spill would add, trading fewer freed
 //! registers for less bus traffic — the paper's preferred variant.
 //!
+//! Victim *ranking* as a whole is pluggable: [`SpillPolicyKind`] is a
+//! registry of [`SpillPolicy`] implementations — the paper's heuristic
+//! ranking (`paper`, the default), two next-use-distance policies in the
+//! Braun & Hack tradition (`min-next-use`, `furthest-next-use`), and a
+//! `round-robin` stress policy — with a documented determinism contract so
+//! every policy reproduces byte-identical results across job counts,
+//! transports and caches.
+//!
 //! Rewrite optimizations (Section 4.2): values produced by a load are
 //! reloaded without a store (the datum is already in memory); values already
 //! consumed by a store reuse that store; loop invariants are stored once
@@ -63,8 +71,10 @@
 
 mod candidate;
 mod dce;
+mod policy;
 mod rewrite;
 
 pub use candidate::{candidates, select, select_batch, SelectHeuristic, SpillCandidate};
 pub use dce::{eliminate_dead_ops, DceReport};
+pub use policy::{RankContext, SpillPolicy, SpillPolicyKind};
 pub use rewrite::{spill, spill_batch, SpillOptimization, SpillReport};

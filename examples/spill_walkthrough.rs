@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         last_ii_pruning: false,
         ii_relief: true,
         max_rounds: 16,
+        ..SpillDriverOptions::default()
     });
     let out = driver.run(&g, &m, 6)?; // 5 variant regs + the invariant a
     println!(

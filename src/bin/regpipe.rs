@@ -11,7 +11,7 @@
 use std::fs;
 use std::process::ExitCode;
 
-use regpipe::core::{compile, CompileOptions};
+use regpipe::core::{compile, CompileOptions, SpillPolicyKind};
 use regpipe::ddg::{textfmt, to_dot, Ddg};
 use regpipe::exec::{parse_strategy, resolve_jobs, run_batch, strategy_slug, BatchRequest};
 use regpipe::loops::{
@@ -67,6 +67,9 @@ regpipe info <file.ddg> [--machine M] [--scheduler S]
   Facts about a loop: op mix, MII/RecMII, recurrences, and the
   unconstrained schedule's II and register requirement.
   --scheduler hrms|sms|asap|exact                      (default hrms)
+  --spill-policy paper|min-next-use|furthest-next-use|round-robin
+                    accepted for interface uniformity; the unconstrained
+                    schedule never spills                (default paper)
 ";
     let compile_ = "\
 regpipe compile <file.ddg> [options]
@@ -76,6 +79,8 @@ regpipe compile <file.ddg> [options]
   --strategy best|spill|increase-ii                    (default best)
   --scheduler hrms|sms|asap|exact                      (default hrms)
   --heuristic lt|lt-traf                               (default lt-traf)
+  --spill-policy paper|min-next-use|furthest-next-use|round-robin
+                    victim-ranking policy for spilling   (default paper)
   --emit kernel|pipeline|dot|text                      (default kernel)
 ";
     let suite_ = "\
@@ -95,6 +100,9 @@ regpipe suite [options]
   --budgets <list>  comma-separated register budgets   (default 64,32)
   --strategies <l>  comma-separated strategies         (default best,spill,increase-ii)
   --scheduler <s>   core scheduler: hrms|sms|asap|exact (default hrms)
+  --spill-policy <p> paper|min-next-use|furthest-next-use|round-robin
+                    (default paper; recorded in the report's spill_policy
+                    field — BENCH_suite.json schema is v3)
   --out <file>      report path                        (default BENCH_suite.json)
 
 regpipe suite --dir <dir> [--size N] [--seed S]
@@ -127,7 +135,7 @@ regpipe check <dir>
 regpipe bench [options]
   Wall-time the full compile path (schedule/allocate/spill/reschedule)
   over seeded `gen` corpora at several kernel sizes and write the result
-  as machine-readable JSON (schema regpipe-bench-compile/v2). By default
+  as machine-readable JSON (schema regpipe-bench-compile/v3). By default
   only deterministic work counters are emitted so runs byte-compare;
   set REGPIPE_BENCH_TIMING=1 to run the sampling loop and include
   mean_wall_us per size (see docs/performance.md).
@@ -138,6 +146,8 @@ regpipe bench [options]
   --budgets <list>  register budgets             (default 64,32)
   --strategies <l>  strategies                   (default best,spill,increase-ii)
   --scheduler <s>   core scheduler: hrms|sms|asap|exact (default hrms)
+  --spill-policy <p> paper|min-next-use|furthest-next-use|round-robin
+                    (default paper)
   --before <file>   a previous timed BENCH_compile.json; records its
                     mean_wall_us per size plus the speedup in the output
   --out <file>      report path                  (default BENCH_compile.json)
@@ -146,11 +156,15 @@ regpipe bench [options]
 regpipe gap [options]
   Measure heuristic optimality gaps: schedule a corpus with the exact
   branch-and-bound oracle and every registered heuristic, and write
-  BENCH_gap.json (schema regpipe-bench-gap/v1) with per-loop and
+  BENCH_gap.json (schema regpipe-bench-gap/v2) with per-loop and
   aggregate II/SC/MaxLive gaps plus proven/unproven counts. Gaps are
   attributed only to loops whose optimum the oracle proved within its
-  node budget. The report carries no timing fields, so runs
-  byte-compare at any --jobs value.
+  node budget. Every loop is also compiled under --spill-budget once
+  per registered spill policy; the report's spill_policies section
+  totals spill counts and achieved IIs with deltas against the
+  --spill-policy baseline (over the loops every policy fitted). The
+  report carries no timing fields, so runs byte-compare at any --jobs
+  value.
   --corpus <dir>    gap an on-disk corpus (see `regpipe gen`/`check`)
                     instead of a generated one; a .mach file in the
                     corpus sets the machine unless --machine is given
@@ -159,6 +173,11 @@ regpipe gap [options]
   --max-ops <n>     most ops per kernel          (default 12)
   --machine <m>     as for compile               (default p2l4)
   --node-budget <n> oracle search nodes per loop (default 200000)
+  --spill-policy <p> baseline policy the per-policy deltas are taken
+                    against: paper|min-next-use|furthest-next-use|
+                    round-robin                  (default paper)
+  --spill-budget <n> register budget for the per-policy comparison
+                                                 (default 16)
   --jobs <n>        worker threads (default: REGPIPE_JOBS, then all cores)
   --out <file>      report path                  (default BENCH_gap.json)
 ";
@@ -182,6 +201,9 @@ regpipe serve [options]
                        answer with error.kind \"deadline\"
   --drain-ms <n>       shutdown drain bound for in-flight connections
                        (default 2000)
+  --spill-policy <p>   default policy for requests that omit the
+                       spill_policy field: paper|min-next-use|
+                       furthest-next-use|round-robin  (default paper)
 ";
     let replay_ = "\
 regpipe replay [options]
@@ -201,6 +223,8 @@ regpipe replay [options]
   --budgets <list>  comma-separated register budgets   (default 32)
   --strategy best|spill|increase-ii                    (default best)
   --scheduler hrms|sms|asap|exact                      (default hrms)
+  --spill-policy paper|min-next-use|furthest-next-use|round-robin
+                    sent with every request            (default paper)
   --machine <m>     as for compile                     (default p2l4)
   --no-cache        (in-process mode) disable the daemon cache
   --cache-dir <dir> (in-process mode) persist the daemon cache on disk
@@ -228,6 +252,8 @@ regpipe chaos [options]
   --budgets <list>  comma-separated register budgets   (default 32)
   --strategy best|spill|increase-ii                    (default best)
   --scheduler hrms|sms|asap|exact                      (default hrms)
+  --spill-policy paper|min-next-use|furthest-next-use|round-robin
+                    sent with every request            (default paper)
   --machine <m>     as for compile                     (default p2l4)
   --out <file>      write the final clean replay's response lines
 ";
@@ -235,7 +261,7 @@ regpipe chaos [options]
 regpipe bench-serve [options]
   Benchmark the daemon: drive a generated corpus through an in-process
   server for --repeat passes and write BENCH_serve.json (schema
-  regpipe-bench-serve/v1) with request totals, cache hit/miss/eviction
+  regpipe-bench-serve/v2) with request totals, cache hit/miss/eviction
   counters and the hit rate. By default only deterministic fields are
   emitted so runs byte-compare; set REGPIPE_BENCH_TIMING=1 to add
   throughput (compiles/sec) and p50/p99 request latencies.
@@ -245,6 +271,8 @@ regpipe bench-serve [options]
   --budgets <list>  register budgets             (default 64,32)
   --strategy best|spill|increase-ii              (default best)
   --scheduler hrms|sms|asap|exact                (default hrms)
+  --spill-policy paper|min-next-use|furthest-next-use|round-robin
+                    sent with every request      (default paper)
   --machine <m>     as for compile               (default p2l4)
   --jobs <n>        worker threads (default: REGPIPE_JOBS, then all cores)
   --no-cache        disable the daemon cache
@@ -311,6 +339,14 @@ impl<'a> Flags<'a> {
     fn scheduler(&self) -> Result<SchedulerKind, String> {
         self.get("--scheduler").map_or(Ok(SchedulerKind::default()), SchedulerKind::parse)
     }
+
+    /// The `--spill-policy` flag, resolved against the spill-policy
+    /// registry. Unknown names are a hard error naming the registered
+    /// policies.
+    fn spill_policy(&self) -> Result<SpillPolicyKind, String> {
+        self.get("--spill-policy")
+            .map_or(Ok(SpillPolicyKind::default()), SpillPolicyKind::parse)
+    }
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
@@ -319,6 +355,9 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let g = load(path)?;
     let machine = parse_machine(flags.get("--machine").unwrap_or("p2l4"))?;
     let scheduler = flags.scheduler()?;
+    // Accepted for interface uniformity and validated against the
+    // registry; the unconstrained schedule below never spills.
+    flags.spill_policy()?;
 
     println!(
         "loop '{}': {} ops, {} edges, {} invariants",
@@ -377,6 +416,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let mut options =
         CompileOptions { strategy, scheduler: flags.scheduler()?, ..CompileOptions::default() };
     options.spill.heuristic = heuristic;
+    options.spill.policy = flags.spill_policy()?;
 
     let compiled = compile(&g, &machine, regs, &options).map_err(|e| e.to_string())?;
     println!(
@@ -488,7 +528,9 @@ fn run_suite(
         .map(parse_strategy)
         .collect::<Result<Vec<_>, _>>()?;
     let out_path = flags.get("--out").unwrap_or("BENCH_suite.json");
-    let options = CompileOptions { scheduler: flags.scheduler()?, ..CompileOptions::default() };
+    let mut options =
+        CompileOptions { scheduler: flags.scheduler()?, ..CompileOptions::default() };
+    options.spill.policy = flags.spill_policy()?;
 
     let req = BatchRequest { machine, budgets, strategies, options, jobs };
     let report = run_batch(&loops, &req);
@@ -654,6 +696,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             Some(raw) => raw.split(',').map(parse_strategy).collect::<Result<Vec<_>, _>>()?,
         },
         scheduler: flags.scheduler()?,
+        spill_policy: flags.spill_policy()?,
         machine: parse_machine(flags.get("--machine").unwrap_or("p2l4"))?,
         timed: std::env::var("REGPIPE_BENCH_TIMING").is_ok_and(|v| v == "1"),
     };
@@ -751,7 +794,21 @@ fn cmd_gap(args: &[String]) -> Result<(), String> {
         (loops, machine, format!("gen:seed={seed},count={count},max_ops={max_ops}"))
     };
 
-    let config = regpipe::bench::GapConfig { machine, node_budget, jobs, source };
+    let spill_budget: u32 =
+        match flags.get("--spill-budget") {
+            None => regpipe::bench::DEFAULT_SPILL_BUDGET,
+            Some(raw) => raw.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                format!("--spill-budget must be a positive integer, got '{raw}'")
+            })?,
+        };
+    let config = regpipe::bench::GapConfig {
+        machine,
+        node_budget,
+        jobs,
+        source,
+        spill_policy: flags.spill_policy()?,
+        spill_budget,
+    };
     let report = regpipe::bench::run_gap(&loops, &config);
     let proven = report.proven();
     println!(
@@ -778,6 +835,27 @@ fn cmd_gap(args: &[String]) -> Result<(), String> {
             a.ii_gap_total,
             a.sc_gap_total,
             a.max_live_gap_total
+        );
+    }
+    println!(
+        "spill policies (budget {}, {} comparable loops, deltas vs {}):",
+        config.spill_budget,
+        report.spill_comparable(),
+        config.spill_policy
+    );
+    println!(
+        "{:<18} {:>7} {:>12} {:>9} {:>10} {:>7}",
+        "policy", "fitted", "sum spilled", "d-spill", "sum II", "d-II"
+    );
+    for a in report.spill_aggregates() {
+        println!(
+            "{:<18} {:>7} {:>12} {:>+9} {:>10} {:>+7}",
+            a.policy.slug(),
+            a.fitted,
+            a.spilled_total,
+            a.spilled_delta,
+            a.ii_total,
+            a.ii_delta
         );
     }
     fs::write(out_path, report.to_json())
@@ -846,6 +924,7 @@ fn serve_options(flags: &Flags<'_>) -> Result<ServeOptions, String> {
         },
         compact_appends: size64("--compact-appends", defaults.compact_appends)?,
         drain_ms: size64("--drain-ms", defaults.drain_ms)?,
+        default_spill_policy: flags.spill_policy()?,
     })
 }
 
@@ -899,6 +978,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             .collect::<Result<Vec<_>, _>>()?,
         strategy: parse_strategy(flags.get("--strategy").unwrap_or("best"))?,
         scheduler: flags.scheduler()?,
+        spill_policy: flags.spill_policy()?,
         machine_spec: Some(flags.get("--machine").unwrap_or("p2l4").to_string()),
     };
     let (source, ids) = match (flags.get("--file"), flags.get("--source").unwrap_or("gen")) {
@@ -1018,6 +1098,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
                 .collect::<Result<Vec<_>, _>>()?,
             strategy: parse_strategy(flags.get("--strategy").unwrap_or("best"))?,
             scheduler: flags.scheduler()?,
+            spill_policy: flags.spill_policy()?,
             machine_spec: Some(flags.get("--machine").unwrap_or("p2l4").to_string()),
         },
     };
@@ -1074,6 +1155,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         },
         strategy: parse_strategy(flags.get("--strategy").unwrap_or("best"))?,
         scheduler: flags.scheduler()?,
+        spill_policy: flags.spill_policy()?,
         machine_spec: {
             let spec = flags.get("--machine").unwrap_or("p2l4");
             parse_machine(spec)?; // validate the spelling up front

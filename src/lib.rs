@@ -85,5 +85,5 @@ pub mod prelude {
     pub use regpipe_sched::{
         mii, AsapScheduler, HrmsScheduler, Schedule, Scheduler, SchedulerKind, SmsScheduler,
     };
-    pub use regpipe_spill::SelectHeuristic;
+    pub use regpipe_spill::{SelectHeuristic, SpillPolicy, SpillPolicyKind};
 }

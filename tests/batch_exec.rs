@@ -76,7 +76,8 @@ fn report_json_parses_and_has_the_advertised_shape() {
     let req = request(2);
     let report = run_batch(&loops, &req);
     let doc = json::parse(&report.to_json(false)).expect("report parses");
-    assert_eq!(doc.get("schema"), Some(&json::Value::Str("regpipe-bench-suite/v2".into())));
+    assert_eq!(doc.get("schema"), Some(&json::Value::Str("regpipe-bench-suite/v3".into())));
+    assert_eq!(doc.get("spill_policy"), Some(&json::Value::Str("paper".into())));
     assert_eq!(doc.get("scheduler"), Some(&json::Value::Str("hrms".into())));
     assert_eq!(doc.get("suite_size"), Some(&json::Value::Int(6)));
     let aggregates = doc.get("aggregates").unwrap().as_array().unwrap();

@@ -180,6 +180,68 @@ fn scheduler_flag_is_documented_and_strictly_validated() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The spill-policy axis (ISSUE 10): `help` documents `--spill-policy`
+/// with the full registry on every verb that accepts it, and unknown
+/// policy names are a hard error on stderr with exit 1.
+#[test]
+fn spill_policy_flag_is_documented_and_strictly_validated() {
+    for topic in ["suite", "bench", "compile", "info", "gap"] {
+        let out = bin().args(["help", topic]).output().expect("spawn regpipe");
+        assert!(out.status.success(), "help {topic} must exit 0");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("--spill-policy"), "help {topic} must document --spill-policy");
+        assert!(stdout.contains("min-next-use"), "help {topic} must list the registry");
+    }
+    let dir = scratch_dir("policy-flag");
+    let ddg = example_ddg(&dir);
+    let ddg_str = ddg.to_str().unwrap();
+    for args in [
+        &["suite", "--size", "3", "--spill-policy", "warp"][..],
+        &["bench", "--sizes", "4", "--count", "1", "--spill-policy", "warp"],
+        &["compile", ddg_str, "--spill-policy", "warp"],
+        &["info", ddg_str, "--spill-policy", "warp"],
+        &["gap", "--count", "2", "--spill-policy", "warp"],
+    ] {
+        let out = bin().args(args).output().expect("spawn regpipe");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown spill policy 'warp'"), "{args:?}: {stderr}");
+        assert!(stderr.contains("min-next-use"), "{args:?} must name the registry: {stderr}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Every registered spill policy drives `suite` end-to-end; the report
+/// records the policy (v3 schema) and stays byte-identical across
+/// `--jobs` for every policy — the CLI half of the ISSUE acceptance.
+#[test]
+fn suite_records_every_policy_and_is_jobs_invariant_per_policy() {
+    let dir = scratch_dir("policy-suite");
+    for policy in ["paper", "min-next-use", "furthest-next-use", "round-robin"] {
+        let mut reports = Vec::new();
+        for jobs in ["1", "4"] {
+            let json_path = dir.join(format!("{policy}-{jobs}.json"));
+            run_ok({
+                let mut c = bin();
+                c.args(["suite", "--size", "4", "--seed", "11", "--jobs", jobs])
+                    .args(["--spill-policy", policy, "--out"])
+                    .arg(&json_path)
+                    .stdout(std::process::Stdio::null());
+                c
+            });
+            reports.push(fs::read_to_string(&json_path).expect("report emitted"));
+        }
+        assert_eq!(reports[0], reports[1], "{policy}: BENCH_suite.json differs across --jobs");
+        assert!(
+            reports[0].contains(&format!("\"spill_policy\":\"{policy}\"")),
+            "{policy} not recorded:\n{}",
+            reports[0]
+        );
+        assert!(reports[0].contains("\"schema\":\"regpipe-bench-suite/v3\""), "{}", reports[0]);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Every registered scheduler drives `info` end-to-end on the paper
 /// example; the register-insensitive baseline needs at least as many
 /// registers as the register-sensitive schedulers.
@@ -225,7 +287,7 @@ fn gap_verb_is_documented_validated_and_proves_small_kernels() {
         c
     });
     let stdout = String::from_utf8(out.stdout).unwrap();
-    for needle in ["--node-budget", "--corpus", "regpipe-bench-gap/v1"] {
+    for needle in ["--node-budget", "--corpus", "regpipe-bench-gap/v2", "--spill-budget"] {
         assert!(stdout.contains(needle), "help gap missing '{needle}'");
     }
     for (args, needle) in [
@@ -234,6 +296,7 @@ fn gap_verb_is_documented_validated_and_proves_small_kernels() {
         (&["gap", "--max-ops", "1"], "--max-ops"),
         (&["gap", "--corpus", "d", "--seed", "9"], "--seed does not apply"),
         (&["gap", "--corpus"], "--corpus needs a directory"),
+        (&["gap", "--spill-budget", "0"], "--spill-budget"),
     ] {
         let out = bin().args(args).output().expect("spawn regpipe");
         assert!(!out.status.success(), "{args:?} must fail");
@@ -249,12 +312,19 @@ fn gap_verb_is_documented_validated_and_proves_small_kernels() {
     });
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("proven optimal:"), "{stdout}");
+    assert!(stdout.contains("spill policies (budget"), "{stdout}");
     let report = fs::read_to_string(&json_path).expect("report written");
     let doc = regpipe::exec::json::parse(&report).expect("report parses");
     assert_eq!(
         doc.get("schema").and_then(regpipe::exec::json::Value::as_str),
-        Some("regpipe-bench-gap/v1")
+        Some("regpipe-bench-gap/v2")
     );
+    for policy in ["paper", "min-next-use", "furthest-next-use", "round-robin"] {
+        assert!(
+            report.contains(&format!("\"policy\":\"{policy}\"")),
+            "gap report must cover every registered policy:\n{report}"
+        );
+    }
     let proven = doc.get("proven").and_then(regpipe::exec::json::Value::as_i64).unwrap();
     assert!(proven > 0, "default budget must prove small kernels:\n{report}");
     let _ = fs::remove_dir_all(&dir);

@@ -17,7 +17,8 @@ use std::num::NonZeroUsize;
 
 use proptest::prelude::*;
 
-use regpipe::bench::{run_gap, GapConfig};
+use regpipe::bench::{run_gap, GapConfig, DEFAULT_SPILL_BUDGET};
+use regpipe::core::SpillPolicyKind;
 use regpipe::ddg::{DdgBuilder, OpKind};
 use regpipe::exec::json::{parse as parse_json, Value};
 use regpipe::loops::{generate, paper, GenParams};
@@ -232,7 +233,7 @@ fn committed_gap_report_is_fresh_and_never_undercuts_a_proven_optimum() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_gap.json");
     let text = std::fs::read_to_string(path).expect("committed BENCH_gap.json at repo root");
     let doc = parse_json(&text).expect("committed report parses");
-    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("regpipe-bench-gap/v1"));
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("regpipe-bench-gap/v2"));
 
     let loops = doc.get("loops").and_then(Value::as_i64).expect("loops count");
     let proven = doc.get("proven").and_then(Value::as_i64).expect("proven count");
@@ -267,6 +268,8 @@ fn committed_gap_report_is_fresh_and_never_undercuts_a_proven_optimum() {
         node_budget: DEFAULT_NODE_BUDGET,
         jobs: NonZeroUsize::new(4).unwrap(),
         source: "gen:seed=7,count=100,max_ops=12".into(),
+        spill_policy: SpillPolicyKind::default(),
+        spill_budget: DEFAULT_SPILL_BUDGET,
     };
     let fresh = run_gap(&corpus, &config).to_json();
     assert_eq!(

@@ -71,6 +71,7 @@ fn figure6_spilling_v1_reaches_5_variant_registers_at_ii_2() {
         last_ii_pruning: false,
         ii_relief: true,
         max_rounds: 16,
+        ..SpillDriverOptions::default()
     });
     // Budget 6 = the paper's 5 variant registers + the invariant `a`.
     let out = driver.run(&g, &m, 6).expect("Figure 6 is reachable");

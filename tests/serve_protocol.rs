@@ -64,15 +64,17 @@ fn malformed_requests_get_structured_errors_not_disconnects() {
         {\"id\":3,\"op\":\"compile\"}\n\
         {\"id\":4,\"op\":\"compile\",\"ddg\":\"op x zap\"}\n\
         [1,2,3]\n\
-        {\"id\":5,\"op\":\"ping\"}\n";
+        {\"id\":5,\"op\":\"compile\",\"ddg\":\"loop l\\nop x add\\n\",\"spill_policy\":\"warp\"}\n\
+        {\"id\":6,\"op\":\"ping\"}\n";
     let out = serve_stdin(input, &[]);
     let stdout = String::from_utf8(out.stdout).unwrap();
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 7, "one response per request:\n{stdout}");
+    assert_eq!(lines.len(), 8, "one response per request:\n{stdout}");
     // Each error carries the structured taxonomy object: requests broken
     // at the protocol layer are "protocol", well-framed compiles with bad
     // parameters are "invalid".
-    let kinds = ["protocol", "protocol", "protocol", "invalid", "invalid", "protocol"];
+    let kinds =
+        ["protocol", "protocol", "protocol", "invalid", "invalid", "protocol", "invalid"];
     for (i, (line, want_kind)) in lines.iter().zip(kinds).enumerate() {
         let doc = parse_json(line).unwrap_or_else(|e| panic!("line {i} not JSON: {e}\n{line}"));
         assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(false), "line {i}: {line}");
@@ -86,8 +88,10 @@ fn malformed_requests_get_structured_errors_not_disconnects() {
     }
     // Requests that parsed far enough to carry an id get it echoed back.
     assert!(lines[2].starts_with("{\"id\":2,"), "{}", lines[2]);
+    // Unknown spill policies name the registry in the error message.
+    assert!(lines[6].contains("unknown spill policy"), "{}", lines[6]);
     // The connection survived all of it.
-    assert_eq!(lines[6], "{\"id\":5,\"ok\":true,\"op\":\"pong\"}");
+    assert_eq!(lines[7], "{\"id\":6,\"ok\":true,\"op\":\"pong\"}");
 }
 
 /// Oversized request lines are bounded: the daemon answers with a
@@ -200,6 +204,32 @@ fn replay_streams_are_identical_across_cache_and_jobs_for_all_schedulers() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The same determinism gate over the spill-policy axis: for every
+/// registered policy, a tight-budget replay (budget 8 forces real spill
+/// decisions) is byte-identical with the cache on vs off and at `--jobs`
+/// 1 vs 4 — so every policy's victim ranking is deterministic end to end
+/// and the cache key separates the policies correctly.
+#[test]
+fn replay_streams_are_identical_across_cache_and_jobs_for_all_spill_policies() {
+    for policy in ["paper", "min-next-use", "furthest-next-use", "round-robin"] {
+        let mut streams = Vec::new();
+        for args in [&["--jobs", "1"][..], &["--jobs", "4"], &["--jobs", "4", "--no-cache"]] {
+            let out = run_ok({
+                let mut c = bin();
+                c.args(["replay", "--seed", "11", "--count", "25", "--repeat", "2"])
+                    .args(["--budgets", "8", "--spill-policy", policy])
+                    .args(args)
+                    .stderr(Stdio::null());
+                c
+            });
+            streams.push(String::from_utf8(out.stdout).unwrap());
+        }
+        assert!(!streams[0].is_empty());
+        assert_eq!(streams[0], streams[1], "{policy}: --jobs changed bytes");
+        assert_eq!(streams[0], streams[2], "{policy}: cache changed bytes");
+    }
+}
+
 /// The ISSUE 8 determinism fix, CLI edition: `suite --scheduler exact`
 /// and `regpipe gap` reports must be byte-identical at `--jobs 1` vs
 /// `--jobs 4` (the serve cache on/off half of the gate is the exact leg
@@ -233,7 +263,7 @@ fn suite_exact_and_gap_reports_are_byte_identical_across_jobs() {
     assert_eq!(suites[0], suites[1], "suite --scheduler exact differs across --jobs");
     assert!(suites[0].contains("\"scheduler\":\"exact\""), "{}", suites[0]);
     assert_eq!(gaps[0], gaps[1], "BENCH_gap.json differs across --jobs");
-    assert!(gaps[0].contains("\"schema\":\"regpipe-bench-gap/v1\""));
+    assert!(gaps[0].contains("\"schema\":\"regpipe-bench-gap/v2\""));
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -326,7 +356,8 @@ fn bench_serve_report_is_deterministic_and_self_consistent() {
     }
     assert_eq!(reports[0], reports[1], "untimed BENCH_serve.json must be byte-stable");
     let doc = parse_json(&reports[0]).expect("report parses");
-    assert_eq!(doc.get("schema").unwrap().as_str(), Some("regpipe-bench-serve/v1"));
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("regpipe-bench-serve/v2"));
+    assert_eq!(doc.get("spill_policy").unwrap().as_str(), Some("paper"));
     let requests = doc.get("requests").unwrap().as_i64().unwrap();
     let hits = doc.get("hits").unwrap().as_i64().unwrap();
     let misses = doc.get("misses").unwrap().as_i64().unwrap();
@@ -358,6 +389,7 @@ fn serve_verbs_are_documented_and_validated() {
         "--cache-dir",
         "--deadline-ms",
         "--retry",
+        "--spill-policy",
     ] {
         assert!(stdout.contains(needle), "help missing '{needle}'");
     }
@@ -381,6 +413,9 @@ fn serve_verbs_are_documented_and_validated() {
         (&["replay", "--source", "warp"], "unknown --source"),
         (&["replay", "--scheduler", "warp"], "unknown scheduler"),
         (&["replay", "--retry", "0"], "--retry"),
+        (&["replay", "--spill-policy", "warp"], "unknown spill policy"),
+        (&["serve", "--spill-policy", "warp"], "unknown spill policy"),
+        (&["bench-serve", "--spill-policy", "warp"], "unknown spill policy"),
         (&["serve", "--cache-bytes", "0"], "--cache-bytes"),
         (&["serve", "--deadline-ms", "0"], "--deadline-ms"),
         (&["chaos", "--count", "3"], "--count"),
